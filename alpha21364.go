@@ -1,0 +1,170 @@
+// Package alpha21364 reproduces "A Comparative Study of Arbitration
+// Algorithms for the Alpha 21364 Pipelined Router" (Mukherjee, Silla,
+// Bannon, Emer, Lang, Webb — ASPLOS 2002).
+//
+// It provides, as a library:
+//
+//   - the five arbitration algorithms the paper compares — SPAA (the
+//     21364's Simple Pipelined Arbitration Algorithm), PIM and PIM1, the
+//     wrapped Wave-Front Arbiter, and MCM — plus the OPF strawman and the
+//     Rotary Rule prioritization (NewArbiter, the Arbiter interface);
+//   - the standalone single-router matching model of Figures 8-9
+//     (RunStandalone, MCMSaturationLoad);
+//   - the cycle-accurate timing model of the 21364 router and its 2D-torus
+//     network with the paper's synthetic coherence workloads (RunTiming,
+//     SweepBNF);
+//   - per-figure experiment runners (Figure8 ... Figure11c) used by the
+//     cmd/sweep tool and the repository's benchmarks.
+//
+// The architecture documentation lives in DESIGN.md; measured-vs-paper
+// results for every figure live in EXPERIMENTS.md.
+package alpha21364
+
+import (
+	"alpha21364/internal/core"
+	"alpha21364/internal/experiment"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/standalone"
+	"alpha21364/internal/stats"
+	"alpha21364/internal/traffic"
+)
+
+// Arbitration algorithm kinds (see core.Kind).
+type Kind = core.Kind
+
+// Algorithm kinds compared by the paper.
+const (
+	MCM        = core.KindMCM
+	PIM        = core.KindPIM
+	PIM1       = core.KindPIM1
+	WFABase    = core.KindWFABase
+	WFARotary  = core.KindWFARotary
+	SPAABase   = core.KindSPAABase
+	SPAARotary = core.KindSPAARotary
+	OPF        = core.KindOPF
+)
+
+// Arbiter is an arbitration algorithm over the router's connection matrix.
+type Arbiter = core.Arbiter
+
+// Matrix is the 16x7 request matrix an Arbiter matches over.
+type Matrix = core.Matrix
+
+// Grant is one (read port, output port) match.
+type Grant = core.Grant
+
+// RNG is the deterministic random number generator used throughout.
+type RNG = sim.RNG
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// NewArbiter constructs an arbitration algorithm. The RNG feeds PIM's
+// random grant/accept steps; deterministic algorithms ignore it.
+func NewArbiter(k Kind, rng *RNG) Arbiter { return core.New(k, rng) }
+
+// NewRouterMatrix returns an empty request matrix shaped like the 21364:
+// 16 read-port rows (rows 0-7 fed by network input ports) and 7 output
+// columns.
+func NewRouterMatrix() *Matrix { return core.NewRouterMatrix() }
+
+// ParseKind resolves an algorithm name such as "SPAA-rotary".
+func ParseKind(name string) (Kind, error) { return core.ParseKind(name) }
+
+// Traffic patterns of the paper's synthetic workloads.
+type Pattern = traffic.Pattern
+
+// Destination patterns (§4.2).
+const (
+	Uniform        = traffic.Uniform
+	BitReversal    = traffic.BitReversal
+	PerfectShuffle = traffic.PerfectShuffle
+)
+
+// ParsePattern resolves a pattern name such as "bit-reversal".
+func ParsePattern(name string) (Pattern, error) { return traffic.ParsePattern(name) }
+
+// StandaloneConfig parameterizes the single-router matching model.
+type StandaloneConfig = standalone.Config
+
+// StandaloneResult reports a standalone run.
+type StandaloneResult = standalone.Result
+
+// DefaultStandaloneConfig returns the paper's standalone parameters at the
+// given per-input-port load.
+func DefaultStandaloneConfig(load float64) StandaloneConfig {
+	return standalone.DefaultConfig(load)
+}
+
+// RunStandalone measures one algorithm's matches per cycle in the
+// standalone model (Figures 8-9).
+func RunStandalone(k Kind, cfg StandaloneConfig) StandaloneResult {
+	return standalone.Run(k, cfg)
+}
+
+// RunStandaloneArbiter is RunStandalone for a caller-constructed arbiter —
+// custom PIM/iSLIP iteration counts or user algorithms implementing
+// Arbiter.
+func RunStandaloneArbiter(arb Arbiter, cfg StandaloneConfig) StandaloneResult {
+	return standalone.RunArbiter(arb, cfg)
+}
+
+// NewISLIP returns McKeown's iSLIP scheduler with the given iteration
+// count — the hardware-implementable PIM derivative the paper cites in
+// §3.1. Run it through RunStandaloneArbiter.
+func NewISLIP(iterations int) Arbiter { return core.NewISLIP(iterations) }
+
+// NewPIMIter returns PIM with a custom iteration count (the paper uses 1
+// and log2 N = 4).
+func NewPIMIter(iterations int, rng *RNG) Arbiter { return core.NewPIM(iterations, rng) }
+
+// NewWFAPlain returns the original non-wrapped, fixed-priority Wave-Front
+// Arbiter, for fairness comparisons against the wrapped WFA the paper
+// models.
+func NewWFAPlain() Arbiter { return core.NewWFAPlain() }
+
+// MCMSaturationLoad locates the load at which MCM's match rate saturates,
+// the unit of Figure 8's horizontal axis.
+func MCMSaturationLoad(cfg StandaloneConfig) float64 {
+	return standalone.MCMSaturationLoad(cfg)
+}
+
+// TimingSetup describes one timing-model simulation.
+type TimingSetup = experiment.TimingSetup
+
+// TimingResult is a BNF point plus diagnostics.
+type TimingResult = experiment.TimingResult
+
+// Point is one latency/throughput measurement.
+type Point = stats.Point
+
+// Series is a load-sweep BNF curve.
+type Series = stats.Series
+
+// RunTiming executes one timing simulation.
+func RunTiming(s TimingSetup) (TimingResult, error) { return experiment.RunTiming(s) }
+
+// SweepBNF sweeps injection rates for one algorithm, producing a BNF curve.
+func SweepBNF(s TimingSetup, rates []float64) (Series, error) {
+	return experiment.Sweep(s, rates)
+}
+
+// Options tunes the per-figure experiment runners.
+type Options = experiment.Options
+
+// Panel is one BNF chart (several algorithms on one axis).
+type Panel = experiment.Panel
+
+// Table is a formatted result grid.
+type Table = experiment.Table
+
+// Figure runners reproduce the paper's evaluation; see cmd/sweep.
+var (
+	Figure8            = experiment.Figure8
+	Figure9            = experiment.Figure9
+	Figure10           = experiment.Figure10
+	Figure10Saturation = experiment.Figure10Saturation
+	Figure11a          = experiment.Figure11a
+	Figure11b          = experiment.Figure11b
+	Figure11c          = experiment.Figure11c
+)

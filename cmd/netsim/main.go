@@ -1,0 +1,73 @@
+// Command netsim runs one timing-model simulation of the 21364 torus and
+// prints its BNF point and diagnostics.
+//
+// Usage:
+//
+//	netsim [-alg SPAA-rotary] [-size 8x8] [-pattern random] [-rate F]
+//	       [-outstanding N] [-cycles N] [-scale-pipeline] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"alpha21364"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsim: ")
+	alg := flag.String("alg", "SPAA-base", "algorithm (PIM1, WFA-base, WFA-rotary, SPAA-base, SPAA-rotary)")
+	size := flag.String("size", "8x8", "torus dimensions WxH")
+	pattern := flag.String("pattern", "random", "traffic pattern (random, bit-reversal, perfect-shuffle)")
+	rate := flag.Float64("rate", 0.02, "new transactions per node per router cycle")
+	outstanding := flag.Int("outstanding", 16, "outstanding-miss limit per processor")
+	cycles := flag.Int("cycles", 75000, "router cycles to simulate")
+	scale := flag.Bool("scale-pipeline", false, "double pipeline depth and clock (Figure 11a)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	series := flag.Int("series", 0, "if > 0, print delivered flits per N-cycle epoch (saturation oscillation)")
+	flag.Parse()
+
+	kind, err := alpha21364.ParseKind(*alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := alpha21364.ParsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
+		log.Fatalf("bad -size %q (want WxH, each >= 2)", *size)
+	}
+
+	res, err := alpha21364.RunTiming(alpha21364.TimingSetup{
+		Width: w, Height: h, Kind: kind, Pattern: pat,
+		Rate: *rate, MaxOutstanding: *outstanding,
+		ScalePipeline: *scale, Cycles: *cycles, Seed: *seed,
+		EpochCycles: *series,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network:            %dx%d torus, %s traffic, %s\n", w, h, pat, kind)
+	fmt.Printf("offered rate:       %.4f txn/node/cycle (max %d outstanding)\n", *rate, *outstanding)
+	fmt.Printf("delivered:          %.4f flits/router/ns\n", res.Throughput)
+	fmt.Printf("avg packet latency: %.1f ns (p99 %.0f ns)\n", res.AvgLatencyNS, res.AvgLatencyP99)
+	fmt.Printf("packets measured:   %d (%.2f mean hops)\n", res.Packets, res.MeanHops)
+	fmt.Printf("transactions done:  %d\n", res.Completed)
+	fmt.Printf("arbitration resets: %d (collisions / wave losers)\n", res.Collisions)
+	fmt.Printf("starvation drains:  %d\n", res.DrainEntries)
+	if *series > 0 {
+		fmt.Printf("throughput CoV:     %.3f (delivered-flit oscillation, post-warmup)\n", res.ThroughputCoV)
+		fmt.Printf("flits per %d-cycle epoch:\n", *series)
+		for i, v := range res.EpochFlits {
+			fmt.Printf("%8d", v)
+			if (i+1)%8 == 0 {
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}

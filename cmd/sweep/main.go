@@ -1,0 +1,129 @@
+// Command sweep regenerates the paper's figures. It prints each table to
+// stdout and, with -out, also writes CSV files.
+//
+// Usage:
+//
+//	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"alpha21364/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	figure := flag.String("figure", "all", "which figure to regenerate (all, 8, 9, 10, 10s, 11a, 11b, 11c)")
+	quick := flag.Bool("quick", false, "shorter runs and sparser sweeps")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	plot := flag.Bool("plot", false, "also render ASCII BNF charts for timing panels")
+	verify := flag.Bool("verify", false, "rerun everything and check the paper's claims (ignores -figure)")
+	markdown := flag.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
+	flag.Parse()
+
+	o := experiment.Options{Quick: *quick, Seed: *seed}
+	if *verify {
+		dataset, err := experiment.CollectDataset(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdicts := experiment.Verify(dataset)
+		if *markdown {
+			fmt.Print(experiment.VerdictMarkdown(verdicts))
+		} else {
+			fmt.Println(experiment.VerdictTable(verdicts).Format())
+		}
+		bad := 0
+		for _, v := range verdicts {
+			if !v.OK {
+				bad++
+			}
+		}
+		log.Printf("%d/%d claims reproduced", len(verdicts)-bad, len(verdicts))
+		return
+	}
+	want := func(name string) bool { return *figure == "all" || *figure == name }
+	emitted := false
+
+	emit := func(name string, tb experiment.Table) {
+		emitted = true
+		fmt.Println(tb.Format())
+		if *out == "" {
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, "figure"+name+".csv")
+		if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+	emitPanel := func(name string, p experiment.Panel) {
+		if *plot {
+			fmt.Println(p.Plot(72, 24))
+		}
+		emit(name, p.Table())
+	}
+	panelName := func(title string) string {
+		s := strings.ToLower(title)
+		s = strings.NewReplacer(" ", "-", ",", "", "(", "", ")", "", "/", "-").Replace(s)
+		return s
+	}
+
+	start := time.Now()
+	if want("8") {
+		emit("8", experiment.Figure8(o).Table())
+	}
+	if want("9") {
+		emit("9", experiment.Figure9(o).Table())
+	}
+	if want("10") {
+		panels, err := experiment.Figure10(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range panels {
+			emitPanel("10-"+panelName(p.Title), p)
+		}
+	}
+	if want("10s") {
+		p, err := experiment.Figure10Saturation(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitPanel("10s-"+panelName(p.Title), p)
+	}
+	type panelFn struct {
+		name string
+		fn   func(experiment.Options) (experiment.Panel, error)
+	}
+	for _, pf := range []panelFn{
+		{"11a", experiment.Figure11a},
+		{"11b", experiment.Figure11b},
+		{"11c", experiment.Figure11c},
+	} {
+		if !want(pf.name) {
+			continue
+		}
+		p, err := pf.fn(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitPanel(pf.name, p)
+	}
+	if !emitted {
+		log.Fatalf("unknown figure %q (want all, 8, 9, 10, 10s, 11a, 11b, 11c)", *figure)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Second))
+}

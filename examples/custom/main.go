@@ -1,0 +1,83 @@
+// Custom: plugging a new arbitration algorithm into the library. The
+// Arbiter interface is one method over the request matrix, so research
+// variants drop in next to the paper's algorithms. Here we build a
+// "greedy column" arbiter — each output port greedily takes its oldest
+// request in a fixed port order, with no input-side coordination at all —
+// and measure its matching capability against the published algorithms on
+// identical traffic.
+package main
+
+import (
+	"fmt"
+
+	"alpha21364"
+)
+
+// greedyColumns grants each column its oldest request, skipping rows
+// already claimed by an earlier column. It is even simpler than OPF (no
+// input-side packet choice) and shows what the interaction machinery in
+// PIM and WFA buys.
+type greedyColumns struct{}
+
+func (greedyColumns) Name() string { return "greedy-columns" }
+
+func (greedyColumns) Arbitrate(m *alpha21364.Matrix) []alpha21364.Grant {
+	var grants []alpha21364.Grant
+	rowUsed := make([]bool, m.Rows)
+	for c := 0; c < m.Cols; c++ {
+		best := -1
+		for r := 0; r < m.Rows; r++ {
+			if rowUsed[r] || !m.At(r, c).Valid {
+				continue
+			}
+			if best == -1 || m.At(r, c).Age < m.At(best, c).Age {
+				best = r
+			}
+		}
+		if best >= 0 {
+			rowUsed[best] = true
+			grants = append(grants, alpha21364.Grant{Row: best, Col: c, Cell: m.At(best, c)})
+		}
+	}
+	return grants
+}
+
+func main() {
+	rng := alpha21364.NewRNG(42)
+	arbiters := []alpha21364.Arbiter{
+		greedyColumns{},
+		alpha21364.NewArbiter(alpha21364.SPAABase, rng),
+		alpha21364.NewArbiter(alpha21364.WFABase, rng),
+		alpha21364.NewArbiter(alpha21364.MCM, rng),
+	}
+
+	// Identical random request matrices for every arbiter: sparse traffic
+	// (12% cell density) so the algorithms' coordination actually matters.
+	const trials = 2000
+	totals := make([]int, len(arbiters))
+	for trial := 0; trial < trials; trial++ {
+		m := alpha21364.NewRouterMatrix()
+		key := uint64(1)
+		mrng := alpha21364.NewRNG(uint64(trial) + 1)
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if mrng.Bernoulli(0.12) {
+					m.Set(r, c, int64(mrng.Intn(100)), key, 0)
+					key++
+				}
+			}
+		}
+		for i, a := range arbiters {
+			totals[i] += len(a.Arbitrate(m))
+		}
+	}
+
+	fmt.Println("Matching capability on identical sparse request matrices:")
+	for i, a := range arbiters {
+		fmt.Printf("  %-16s %.2f matches/cycle\n", a.Name(), float64(totals[i])/trials)
+	}
+	fmt.Println()
+	fmt.Println("greedy-columns coordinates nothing across columns, so it loses")
+	fmt.Println("rows to early columns that later columns needed — the arbitration")
+	fmt.Println("collision the paper's Figure 2 illustrates.")
+}

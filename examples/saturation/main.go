@@ -1,0 +1,51 @@
+// Saturation: tree saturation and the Rotary Rule. A 64-processor torus is
+// pushed past its saturation point (the high in-flight pressure of the
+// paper's Figure 11b scaling study); the base algorithms' delivered
+// throughput collapses as trees of blocked packets clog the buffers, while
+// the Rotary Rule variants — which let packets already in the network exit
+// the "rotary" before new local traffic enters — hold their peak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alpha21364"
+)
+
+func main() {
+	fmt.Println("8x8 torus, uniform traffic, 64 outstanding misses per processor")
+	fmt.Println("(delivered flits/router/ns as offered load rises)")
+	fmt.Println()
+
+	rates := []float64{0.02, 0.04, 0.08, 0.13}
+	kinds := []alpha21364.Kind{
+		alpha21364.SPAABase, alpha21364.SPAARotary,
+		alpha21364.WFABase, alpha21364.WFARotary,
+	}
+
+	fmt.Printf("%-12s", "rate")
+	for _, k := range kinds {
+		fmt.Printf("  %-12s", k)
+	}
+	fmt.Println()
+	for _, rate := range rates {
+		fmt.Printf("%-12.3f", rate)
+		for _, kind := range kinds {
+			res, err := alpha21364.RunTiming(alpha21364.TimingSetup{
+				Width: 8, Height: 8, Kind: kind, Pattern: alpha21364.Uniform,
+				Rate: rate, MaxOutstanding: 64, Cycles: 12000, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12.4f", res.Throughput)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: beyond the saturation knee (~0.04), the -base")
+	fmt.Println("columns fall while the -rotary columns hold. The 21364 ships the")
+	fmt.Println("Rotary Rule as a boot-time option for exactly this regime.")
+}

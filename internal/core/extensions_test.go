@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"alpha21364/internal/sim"
+)
+
+func TestISLIPIsValidMatching(t *testing.T) {
+	rng := sim.NewRNG(31)
+	islip := NewISLIP(4)
+	m := NewRouterMatrix()
+	for trial := 0; trial < 200; trial++ {
+		fillRandom(m, rng, float64(trial%10)/10)
+		if err := CheckMatching(m, islip.Arbitrate(m)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestISLIPMatchesPIMQuality(t *testing.T) {
+	// The paper: iSLIP's "matching capabilities are similar to PIM's".
+	rng := sim.NewRNG(32)
+	islip := NewISLIP(PIMFullIterations)
+	pim := NewPIM(PIMFullIterations, rng.Split())
+	m := NewRouterMatrix()
+	var si, sp int
+	for trial := 0; trial < 400; trial++ {
+		fillRandom(m, rng, 0.5)
+		si += len(islip.Arbitrate(m))
+		sp += len(pim.Arbitrate(m))
+	}
+	ratio := float64(si) / float64(sp)
+	if ratio < 0.93 || ratio > 1.07 {
+		t.Fatalf("iSLIP/PIM match ratio = %.3f, want ~1.0", ratio)
+	}
+}
+
+func TestISLIPPointerDesynchronization(t *testing.T) {
+	// The classic iSLIP property: under persistent contention the pointers
+	// desynchronize and each requesting row is served in turn.
+	islip := NewISLIP(1)
+	m := NewRouterMatrix()
+	wins := map[int]int{}
+	for i := 0; i < 40; i++ {
+		m.Reset()
+		m.Set(0, 0, 1, uint64(3*i+1), 0)
+		m.Set(4, 0, 1, uint64(3*i+2), 0)
+		m.Set(8, 0, 1, uint64(3*i+3), 0)
+		for _, g := range islip.Arbitrate(m) {
+			wins[g.Row]++
+		}
+	}
+	for _, r := range []int{0, 4, 8} {
+		if wins[r] < 10 {
+			t.Fatalf("row %d won only %d/40 under round-robin pointers: %v", r, wins[r], wins)
+		}
+	}
+}
+
+func TestISLIPSingleRequest(t *testing.T) {
+	islip := NewISLIP(1)
+	m := NewRouterMatrix()
+	m.Set(7, 4, 3, 99, 0)
+	grants := islip.Arbitrate(m)
+	if len(grants) != 1 || grants[0].Row != 7 || grants[0].Col != 4 {
+		t.Fatalf("lone request mishandled: %+v", grants)
+	}
+}
+
+func TestRoundRobinPolicyCycles(t *testing.T) {
+	p := NewRoundRobinPolicy(RouterRows, RouterCols)
+	rows := []int{2, 7, 11}
+	net := []bool{true, true, false}
+	seen := map[int]int{}
+	for i := 0; i < 30; i++ {
+		seen[rows[p.Select(0, rows, net)]]++
+	}
+	for _, r := range rows {
+		if seen[r] != 10 {
+			t.Fatalf("round-robin uneven: %v", seen)
+		}
+	}
+}
+
+func TestRandomPolicyCoversAll(t *testing.T) {
+	p := NewRandomPolicy(sim.NewRNG(5))
+	rows := []int{1, 2, 3, 4}
+	net := make([]bool, 4)
+	seen := map[int]int{}
+	for i := 0; i < 400; i++ {
+		seen[rows[p.Select(0, rows, net)]]++
+	}
+	for _, r := range rows {
+		if seen[r] < 50 {
+			t.Fatalf("random policy starved row %d: %v", r, seen)
+		}
+	}
+}
+
+func TestPriorityChainIsFixed(t *testing.T) {
+	p := NewPriorityChainPolicy()
+	for i := 0; i < 10; i++ {
+		if w := p.Select(0, []int{9, 3, 12}, make([]bool, 3)); w != 1 {
+			t.Fatalf("priority chain picked index %d, want lowest row", w)
+		}
+	}
+}
+
+func TestLRSPolicyAdapterNames(t *testing.T) {
+	if got := NewLRSPolicy(4, 2, false).Name(); got != "lrs" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewLRSPolicy(4, 2, true).Name(); got != "rotary-lrs" {
+		t.Errorf("rotary name = %q", got)
+	}
+}
+
+func TestWFAPlainIsMaximalButUnfair(t *testing.T) {
+	a := NewWFAPlain()
+	rng := sim.NewRNG(33)
+	m := NewRouterMatrix()
+	// Maximality + matching validity.
+	for trial := 0; trial < 100; trial++ {
+		fillRandom(m, rng, 0.3)
+		grants := a.Arbitrate(m)
+		if err := CheckMatching(m, grants); err != nil {
+			t.Fatal(err)
+		}
+		rowUsed := make([]bool, m.Rows)
+		colUsed := make([]bool, m.Cols)
+		for _, g := range grants {
+			rowUsed[g.Row], colUsed[g.Col] = true, true
+		}
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if m.At(r, c).Valid && !rowUsed[r] && !colUsed[c] {
+					t.Fatalf("plain WFA left addable cell (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+	// Unfairness: two rows permanently contesting column 0 — the top-left
+	// row always wins (the defect wrapping + rotation repairs).
+	wins := map[int]int{}
+	for i := 0; i < 20; i++ {
+		m.Reset()
+		m.Set(0, 0, 1, uint64(2*i+1), 0)
+		m.Set(5, 0, 1, uint64(2*i+2), 0)
+		for _, g := range a.Arbitrate(m) {
+			wins[g.Row]++
+		}
+	}
+	if wins[0] != 20 || wins[5] != 0 {
+		t.Fatalf("plain WFA should be rigidly unfair: %v", wins)
+	}
+	// The wrapped, rotated WFA serves both.
+	wrapped := NewWFA()
+	wins = map[int]int{}
+	for i := 0; i < 32; i++ {
+		m.Reset()
+		m.Set(0, 0, 1, uint64(2*i+1), 0)
+		m.Set(5, 0, 1, uint64(2*i+2), 0)
+		for _, g := range wrapped.Arbitrate(m) {
+			wins[g.Row]++
+		}
+	}
+	if wins[0] == 0 || wins[5] == 0 {
+		t.Fatalf("wrapped WFA should rotate the winner: %v", wins)
+	}
+}
+
+func TestWFAPlainVsWrappedMatchingQuality(t *testing.T) {
+	// "The Wrapped WFA provides matching performance similar to that of
+	// WFA's" (§3.2): totals within a few percent on random traffic.
+	rng := sim.NewRNG(34)
+	plain := NewWFAPlain()
+	wrapped := NewWFA()
+	m := NewRouterMatrix()
+	var sp, sw int
+	for trial := 0; trial < 400; trial++ {
+		fillRandom(m, rng, 0.4)
+		sp += len(plain.Arbitrate(m))
+		sw += len(wrapped.Arbitrate(m))
+	}
+	ratio := float64(sw) / float64(sp)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("wrapped/plain matching ratio = %.3f, want ~1.0", ratio)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+// ISLIP is McKeown's iSLIP scheduler, the hardware-implementable
+// derivative of PIM the paper cites in §3.1 ("researchers have proposed
+// variations of PIM, such as iSLIP, that can be implemented in hardware,
+// but their matching capabilities are similar to PIM's"). It replaces
+// PIM's random grant and accept steps with rotating round-robin pointers:
+//
+//	Grant:  each unmatched output grants the first requesting input at or
+//	        after its grant pointer.
+//	Accept: each input accepts the first granting output at or after its
+//	        accept pointer.
+//	Pointers advance one position past their choice only when the grant is
+//	        accepted, and only in the first iteration — the property that
+//	        desynchronizes the pointers and gives iSLIP its 100% throughput
+//	        on uniform traffic.
+//
+// iSLIP is not part of the paper's figures; it is included as the natural
+// extension point the paper names, and the standalone model can run it for
+// comparison.
+type ISLIP struct {
+	iterations int
+	grantPtr   []int // per column
+	acceptPtr  []int // per row
+	rowMask    []uint64
+	matchRow   []int
+	matchCol   []int
+}
+
+// NewISLIP returns an iSLIP scheduler with the given iteration count.
+func NewISLIP(iterations int) *ISLIP {
+	if iterations < 1 {
+		panic("core: iSLIP needs at least one iteration")
+	}
+	return &ISLIP{iterations: iterations}
+}
+
+// Name implements Arbiter.
+func (a *ISLIP) Name() string { return "iSLIP" }
+
+// Arbitrate implements Arbiter.
+func (a *ISLIP) Arbitrate(m *Matrix) []Grant {
+	if cap(a.matchRow) < m.Rows {
+		a.matchRow = make([]int, m.Rows)
+		a.rowMask = make([]uint64, m.Rows)
+		a.acceptPtr = make([]int, m.Rows)
+	}
+	if cap(a.matchCol) < m.Cols {
+		a.matchCol = make([]int, m.Cols)
+		a.grantPtr = make([]int, m.Cols)
+	}
+	matchRow := a.matchRow[:m.Rows]
+	matchCol := a.matchCol[:m.Cols]
+	rowMask := a.rowMask[:m.Rows]
+	for i := range matchRow {
+		matchRow[i] = -1
+	}
+	for i := range matchCol {
+		matchCol[i] = -1
+	}
+
+	for it := 0; it < a.iterations; it++ {
+		for r := range rowMask {
+			rowMask[r] = 0
+		}
+		// Grant: round-robin from the column's pointer.
+		anyGrant := false
+		for c := 0; c < m.Cols; c++ {
+			if matchCol[c] != -1 {
+				continue
+			}
+			for k := 0; k < m.Rows; k++ {
+				r := (a.grantPtr[c] + k) % m.Rows
+				if matchRow[r] == -1 && m.At(r, c).Valid {
+					rowMask[r] |= 1 << uint(c)
+					anyGrant = true
+					break
+				}
+			}
+		}
+		if !anyGrant {
+			break
+		}
+		// Accept: round-robin from the row's pointer; pointers move only on
+		// acceptance and only in the first iteration.
+		for r := 0; r < m.Rows; r++ {
+			if rowMask[r] == 0 {
+				continue
+			}
+			for k := 0; k < m.Cols; k++ {
+				c := (a.acceptPtr[r] + k) % m.Cols
+				if rowMask[r]&(1<<uint(c)) == 0 {
+					continue
+				}
+				matchRow[r] = c
+				matchCol[c] = r
+				if it == 0 {
+					a.acceptPtr[r] = (c + 1) % m.Cols
+					a.grantPtr[c] = (r + 1) % m.Rows
+				}
+				break
+			}
+		}
+	}
+
+	grants := make([]Grant, 0, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if c := matchRow[r]; c != -1 {
+			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
+		}
+	}
+	return grants
+}

@@ -1,0 +1,169 @@
+// Package core implements the arbitration algorithms compared by the paper:
+// SPAA (the Alpha 21364's Simple Pipelined Arbitration Algorithm, the
+// paper's contribution), PIM and its single-iteration variant PIM1, the
+// wrapped Wave-Front Arbiter (WFA) of the SGI Spider, the exhaustive
+// Maximal Cardinality Matching (MCM) upper bound, and the naive
+// oldest-packet-first (OPF) strawman of the paper's Figure 2 — plus the
+// Rotary Rule prioritization policy applied to WFA and SPAA.
+//
+// All algorithms operate on a connection Matrix (paper §3, Figure 5): rows
+// are the 16 read-port ("input port" or "local") arbiters, columns are the
+// 7 output-port ("global") arbiters, and each valid cell holds the oldest
+// packet the row can nominate to that column this cycle. The matrix builder
+// (the standalone model or the timing router) is responsible for the
+// 21364's structural constraints: shaded (disconnected) cells are never
+// set, a packet appears in the rows of only one read port (the read-port
+// pairs synchronize), and a packet appears in at most two columns (adaptive
+// routing in the minimal rectangle).
+package core
+
+import "fmt"
+
+// Cell is one matrix entry: the candidate packet a row offers a column.
+type Cell struct {
+	Valid   bool
+	Age     int64  // arrival order; smaller is older
+	Key     uint64 // packet identity: equal keys are the same packet
+	Payload int32  // caller-defined handle carried through to the grant
+}
+
+// Matrix is the 21364's connection matrix for one arbitration pass.
+type Matrix struct {
+	Rows, Cols int
+	// RowPort maps a row (read-port arbiter) to its input port; the two
+	// rows of an input port share buffers.
+	RowPort []int8
+	// RowNetwork marks rows fed by interprocessor (network) input ports;
+	// the Rotary Rule prioritizes these.
+	RowNetwork []bool
+	cells      []Cell
+}
+
+// NewMatrix returns an empty matrix with the given shape and uniform row
+// metadata (one row per port, no network rows). Use NewRouterMatrix for
+// the 21364 shape.
+func NewMatrix(rows, cols int) *Matrix {
+	m := &Matrix{
+		Rows:       rows,
+		Cols:       cols,
+		RowPort:    make([]int8, rows),
+		RowNetwork: make([]bool, rows),
+		cells:      make([]Cell, rows*cols),
+	}
+	for i := range m.RowPort {
+		m.RowPort[i] = int8(i)
+	}
+	return m
+}
+
+// RouterRows and RouterCols give the 21364 shape: 8 input ports x 2 read
+// ports, 7 output ports.
+const (
+	RouterRows = 16
+	RouterCols = 7
+)
+
+// NewRouterMatrix returns an empty 16x7 matrix shaped like the 21364:
+// row 2p and 2p+1 are read ports 0 and 1 of input port p, and input ports
+// 0-3 (rows 0-7) are the network ports (north, south, east, west).
+func NewRouterMatrix() *Matrix {
+	m := NewMatrix(RouterRows, RouterCols)
+	for i := 0; i < RouterRows; i++ {
+		m.RowPort[i] = int8(i / 2)
+		m.RowNetwork[i] = i < 8
+	}
+	return m
+}
+
+// Reset clears all cells, keeping the shape and row metadata.
+func (m *Matrix) Reset() {
+	for i := range m.cells {
+		m.cells[i].Valid = false
+	}
+}
+
+// Set fills the cell at (row, col).
+func (m *Matrix) Set(row, col int, age int64, key uint64, payload int32) {
+	m.cells[row*m.Cols+col] = Cell{Valid: true, Age: age, Key: key, Payload: payload}
+}
+
+// Clear invalidates the cell at (row, col).
+func (m *Matrix) Clear(row, col int) { m.cells[row*m.Cols+col].Valid = false }
+
+// At returns the cell at (row, col).
+func (m *Matrix) At(row, col int) Cell { return m.cells[row*m.Cols+col] }
+
+// ValidCount returns the number of valid cells (nominations).
+func (m *Matrix) ValidCount() int {
+	n := 0
+	for i := range m.cells {
+		if m.cells[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the builder invariants: a packet key appears in at most
+// one row and at most two columns. It is intended for tests and debug
+// builds; it returns an error rather than panicking.
+func (m *Matrix) Validate() error {
+	rowOf := make(map[uint64]int)
+	count := make(map[uint64]int)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			cell := m.At(r, c)
+			if !cell.Valid {
+				continue
+			}
+			if prev, ok := rowOf[cell.Key]; ok && prev != r {
+				return fmt.Errorf("core: packet %d nominated by rows %d and %d", cell.Key, prev, r)
+			}
+			rowOf[cell.Key] = r
+			count[cell.Key]++
+			if count[cell.Key] > 2 {
+				return fmt.Errorf("core: packet %d nominated to more than two columns", cell.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// Grant is one (row, column) match chosen by an arbitration algorithm.
+type Grant struct {
+	Row, Col int
+	Cell     Cell
+}
+
+// Arbiter is an arbitration algorithm. Arbitrate returns a matching: at
+// most one grant per row and per column, each on a valid cell. Arbiters
+// carry their own prioritization state (round-robin pointers, LRS
+// matrices, RNG) across calls.
+type Arbiter interface {
+	Name() string
+	Arbitrate(m *Matrix) []Grant
+}
+
+// CheckMatching verifies that grants form a matching over valid cells of m;
+// it is used by tests and by the simulator's self-checks.
+func CheckMatching(m *Matrix, grants []Grant) error {
+	rowUsed := make([]bool, m.Rows)
+	colUsed := make([]bool, m.Cols)
+	for _, g := range grants {
+		if g.Row < 0 || g.Row >= m.Rows || g.Col < 0 || g.Col >= m.Cols {
+			return fmt.Errorf("core: grant (%d,%d) out of range", g.Row, g.Col)
+		}
+		if !m.At(g.Row, g.Col).Valid {
+			return fmt.Errorf("core: grant (%d,%d) on invalid cell", g.Row, g.Col)
+		}
+		if rowUsed[g.Row] {
+			return fmt.Errorf("core: row %d granted twice", g.Row)
+		}
+		if colUsed[g.Col] {
+			return fmt.Errorf("core: column %d granted twice", g.Col)
+		}
+		rowUsed[g.Row] = true
+		colUsed[g.Col] = true
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+// MCM is the Maximal Cardinality Matching algorithm of the paper (§3): a
+// maximum-weight matching with all weights equal, i.e. a maximum bipartite
+// matching between the 16 read-port arbiters and the 7 output-port
+// arbiters. The paper uses MCM as an upper bound in the standalone model
+// only — it "exhaustively searches the space for the maximum number of
+// matches" and is not implementable in hardware within a few cycles.
+//
+// We implement it with Hopcroft–Karp, which finds a provably maximum
+// matching (the quantity the paper measures); tests cross-check it against
+// brute-force search on small matrices.
+type MCM struct {
+	// scratch, sized on first use
+	matchRow []int // row -> col or -1
+	matchCol []int // col -> row or -1
+	dist     []int
+	queue    []int
+}
+
+// NewMCM returns the exhaustive matcher.
+func NewMCM() *MCM { return &MCM{} }
+
+// Name implements Arbiter.
+func (a *MCM) Name() string { return "MCM" }
+
+const inf = int(^uint(0) >> 1)
+
+// Arbitrate implements Arbiter, returning a maximum matching.
+func (a *MCM) Arbitrate(m *Matrix) []Grant {
+	if cap(a.matchRow) < m.Rows {
+		a.matchRow = make([]int, m.Rows)
+		a.dist = make([]int, m.Rows+1)
+		a.queue = make([]int, 0, m.Rows)
+	}
+	if cap(a.matchCol) < m.Cols {
+		a.matchCol = make([]int, m.Cols)
+	}
+	matchRow := a.matchRow[:m.Rows]
+	matchCol := a.matchCol[:m.Cols]
+	for i := range matchRow {
+		matchRow[i] = -1
+	}
+	for i := range matchCol {
+		matchCol[i] = -1
+	}
+
+	// Hopcroft–Karp: repeatedly find a maximal set of shortest augmenting
+	// paths via BFS layering + DFS augmentation.
+	dist := a.dist[:m.Rows+1]
+	for {
+		// BFS from free rows. dist[m.Rows] is the nil sentinel.
+		q := a.queue[:0]
+		for r := 0; r < m.Rows; r++ {
+			if matchRow[r] == -1 {
+				dist[r] = 0
+				q = append(q, r)
+			} else {
+				dist[r] = inf
+			}
+		}
+		dist[m.Rows] = inf
+		for head := 0; head < len(q); head++ {
+			r := q[head]
+			if dist[r] >= dist[m.Rows] {
+				continue
+			}
+			for c := 0; c < m.Cols; c++ {
+				if !m.At(r, c).Valid {
+					continue
+				}
+				nr := matchCol[c]
+				idx := m.Rows
+				if nr != -1 {
+					idx = nr
+				}
+				if dist[idx] == inf {
+					dist[idx] = dist[r] + 1
+					if nr != -1 {
+						q = append(q, nr)
+					}
+				}
+			}
+		}
+		if dist[m.Rows] == inf {
+			break // no augmenting path
+		}
+		augmented := false
+		for r := 0; r < m.Rows; r++ {
+			if matchRow[r] == -1 && a.augment(m, r, matchRow, matchCol, dist) {
+				augmented = true
+			}
+		}
+		if !augmented {
+			break
+		}
+	}
+
+	grants := make([]Grant, 0, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if c := matchRow[r]; c != -1 {
+			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
+		}
+	}
+	return grants
+}
+
+func (a *MCM) augment(m *Matrix, r int, matchRow, matchCol, dist []int) bool {
+	for c := 0; c < m.Cols; c++ {
+		if !m.At(r, c).Valid {
+			continue
+		}
+		nr := matchCol[c]
+		idx := m.Rows
+		if nr != -1 {
+			idx = nr
+		}
+		if dist[idx] == dist[r]+1 {
+			if nr == -1 || a.augment(m, nr, matchRow, matchCol, dist) {
+				matchRow[r] = c
+				matchCol[c] = r
+				return true
+			}
+		}
+	}
+	dist[r] = inf
+	return false
+}

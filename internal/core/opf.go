@@ -1,0 +1,72 @@
+package core
+
+// OPF is the naive "oldest packet first" strawman of the paper's Figure 2:
+// every input port nominates its single oldest packet, regardless of what
+// the other input ports are doing, and each output port serves the oldest
+// nomination it receives. When several ports' oldest packets want the same
+// output, OPF suffers arbitration collisions and delivers a poor matching —
+// the motivating example for the interaction machinery in PIM and WFA, and
+// the baseline SPAA's matching capability is compared to.
+type OPF struct{}
+
+// NewOPF returns the oldest-packet-first strawman.
+func NewOPF() *OPF { return &OPF{} }
+
+// Name implements Arbiter.
+func (OPF) Name() string { return "OPF" }
+
+// Arbitrate implements Arbiter.
+func (OPF) Arbitrate(m *Matrix) []Grant {
+	// Group rows by input port; each port offers its overall-oldest packet.
+	ports := 0
+	for _, p := range m.RowPort {
+		if int(p)+1 > ports {
+			ports = int(p) + 1
+		}
+	}
+	type nom struct {
+		row, col int
+		cell     Cell
+	}
+	noms := make([]nom, 0, ports)
+	for p := 0; p < ports; p++ {
+		bestRow, bestCol := -1, -1
+		var best Cell
+		for r := 0; r < m.Rows; r++ {
+			if int(m.RowPort[r]) != p {
+				continue
+			}
+			for c := 0; c < m.Cols; c++ {
+				cell := m.At(r, c)
+				if !cell.Valid {
+					continue
+				}
+				if bestRow == -1 || cell.Age < best.Age ||
+					(cell.Age == best.Age && cell.Key < best.Key) {
+					bestRow, bestCol, best = r, c, cell
+				}
+			}
+		}
+		if bestRow != -1 {
+			noms = append(noms, nom{bestRow, bestCol, best})
+		}
+	}
+	// Each output port serves the oldest nomination; collisions lose.
+	var grants []Grant
+	for c := 0; c < m.Cols; c++ {
+		best := -1
+		for i, n := range noms {
+			if n.col != c {
+				continue
+			}
+			if best == -1 || n.cell.Age < noms[best].cell.Age ||
+				(n.cell.Age == noms[best].cell.Age && n.cell.Key < noms[best].cell.Key) {
+				best = i
+			}
+		}
+		if best != -1 {
+			grants = append(grants, Grant{Row: noms[best].row, Col: c, Cell: noms[best].cell})
+		}
+	}
+	return grants
+}

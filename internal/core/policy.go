@@ -1,0 +1,63 @@
+package core
+
+// GrantPolicy selects which requesting row an output-port (global) arbiter
+// grants. The 21364's SPAA uses least-recently-selected (LRS); the Rotary
+// Rule variant first restricts the choice to rows fed by network input
+// ports (cross-traffic) when any are present, and applies LRS within the
+// group (paper §3.4). The same policy object is shared by the standalone
+// model and the timing router so prioritization state persists correctly.
+type GrantPolicy struct {
+	rotary bool
+	// lastSelected[col][row] is the virtual time the row was last granted
+	// by the column; zero means never.
+	lastSelected [][]int64
+	clock        int64
+}
+
+// NewGrantPolicy returns an LRS policy for a rows x cols matrix; with
+// rotary set, network rows take absolute priority over local rows.
+func NewGrantPolicy(rows, cols int, rotary bool) *GrantPolicy {
+	p := &GrantPolicy{rotary: rotary, lastSelected: make([][]int64, cols)}
+	for c := range p.lastSelected {
+		p.lastSelected[c] = make([]int64, rows)
+	}
+	return p
+}
+
+// Rotary reports whether the policy applies the Rotary Rule.
+func (p *GrantPolicy) Rotary() bool { return p.rotary }
+
+// Select picks the winning row for column col among candidate rows.
+// network[i] tells whether rows[i] is fed by a network input port. It
+// returns the index into rows of the winner and records the selection.
+// Select panics if rows is empty.
+func (p *GrantPolicy) Select(col int, rows []int, network []bool) int {
+	if len(rows) == 0 {
+		panic("core: Select with no candidates")
+	}
+	considerNetworkOnly := false
+	if p.rotary {
+		for _, n := range network {
+			if n {
+				considerNetworkOnly = true
+				break
+			}
+		}
+	}
+	best := -1
+	var bestLast int64
+	for i, r := range rows {
+		if considerNetworkOnly && !network[i] {
+			continue
+		}
+		last := p.lastSelected[col][r]
+		// Least recently selected wins; ties break toward the lowest row
+		// index, which is deterministic and matches a fixed priority chain.
+		if best == -1 || last < bestLast {
+			best, bestLast = i, last
+		}
+	}
+	p.clock++
+	p.lastSelected[col][rows[best]] = p.clock
+	return best
+}

@@ -1,0 +1,115 @@
+package core
+
+import "alpha21364/internal/sim"
+
+// The paper's §3 lists the output-port selection policies routers have
+// used: "random [METRO], round-robin [Cray T3E], least-recently selected
+// [IBM Vulcan], some kind of a priority chain [Torus Routing Chip], or the
+// Rotary Rule". SPAA ships with least-recently selected; these variants
+// let the design space be explored (see BenchmarkAblationGrantPolicy).
+
+// SelectPolicy picks the winning row for an output column among candidate
+// rows. Implementations carry per-column fairness state.
+type SelectPolicy interface {
+	Name() string
+	// Select returns the index into rows of the winner. network[i] reports
+	// whether rows[i] is fed by a network input port (used by the Rotary
+	// Rule). rows is never empty.
+	Select(col int, rows []int, network []bool) int
+}
+
+// LRS adapts GrantPolicy to SelectPolicy (the 21364's shipping policy).
+type lrsPolicy struct{ p *GrantPolicy }
+
+// NewLRSPolicy returns the least-recently-selected policy; with rotary
+// set, network rows take absolute priority.
+func NewLRSPolicy(rows, cols int, rotary bool) SelectPolicy {
+	return lrsPolicy{NewGrantPolicy(rows, cols, rotary)}
+}
+
+func (l lrsPolicy) Name() string {
+	if l.p.Rotary() {
+		return "rotary-lrs"
+	}
+	return "lrs"
+}
+
+func (l lrsPolicy) Select(col int, rows []int, network []bool) int {
+	return l.p.Select(col, rows, network)
+}
+
+// RoundRobin grants the first requesting row at or after a per-column
+// rotating pointer, as in the Cray T3E.
+type RoundRobin struct {
+	rows int
+	ptr  []int
+}
+
+// NewRoundRobinPolicy returns a round-robin policy over a rows x cols
+// matrix.
+func NewRoundRobinPolicy(rows, cols int) *RoundRobin {
+	return &RoundRobin{rows: rows, ptr: make([]int, cols)}
+}
+
+// Name implements SelectPolicy.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Select implements SelectPolicy.
+func (rr *RoundRobin) Select(col int, rows []int, network []bool) int {
+	if len(rows) == 0 {
+		panic("core: Select with no candidates")
+	}
+	best, bestDist := 0, rr.rows
+	for i, r := range rows {
+		d := (r - rr.ptr[col] + rr.rows) % rr.rows
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	rr.ptr[col] = (rows[best] + 1) % rr.rows
+	return best
+}
+
+// Random grants a uniformly random requesting row, as in the MIT METRO
+// router (and PIM's grant step).
+type Random struct {
+	rng *sim.RNG
+}
+
+// NewRandomPolicy returns a random grant policy.
+func NewRandomPolicy(rng *sim.RNG) *Random { return &Random{rng: rng} }
+
+// Name implements SelectPolicy.
+func (rd *Random) Name() string { return "random" }
+
+// Select implements SelectPolicy.
+func (rd *Random) Select(col int, rows []int, network []bool) int {
+	if len(rows) == 0 {
+		panic("core: Select with no candidates")
+	}
+	return rd.rng.Intn(len(rows))
+}
+
+// PriorityChain grants the lowest-numbered requesting row, the fixed
+// priority chain of the Torus Routing Chip. It is deliberately unfair.
+type PriorityChain struct{}
+
+// NewPriorityChainPolicy returns the fixed-priority policy.
+func NewPriorityChainPolicy() PriorityChain { return PriorityChain{} }
+
+// Name implements SelectPolicy.
+func (PriorityChain) Name() string { return "priority-chain" }
+
+// Select implements SelectPolicy.
+func (PriorityChain) Select(col int, rows []int, network []bool) int {
+	if len(rows) == 0 {
+		panic("core: Select with no candidates")
+	}
+	best := 0
+	for i, r := range rows {
+		if r < rows[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package core
+
+// WFA is the (wrapped) Wave-Front Arbiter of Tamir and Chi, as implemented
+// in the SGI Spider switch (paper §3.2). The connection matrix is evaluated
+// as a systolic wave: a cell (i,j) receives a grant when it has a request
+// and no cell earlier in the wave has already claimed row i or column j.
+//
+// We implement the Wrapped WFA, which the paper's timing is based on: cells
+// are grouped into wrapped diagonals (i+j mod Rows); diagonal k+1 is
+// evaluated after diagonal k, and cells within a diagonal never share a row
+// or column, so they are conflict-free. Fairness comes from rotating the
+// starting diagonal:
+//
+//   - WFA-base rotates the start round-robin, as Tamir and Chi suggest.
+//   - WFA-rotary gives "cells connected to the input port arbiters for the
+//     network ports the highest priority" (§3.4): the wave first sweeps the
+//     network-input rows (rotating the starting diagonal within them), and
+//     only then lets local-input rows claim the leftover columns. This
+//     realizes the Rotary Rule's strict cross-traffic-first priority in
+//     wave-front form.
+type WFA struct {
+	rotary  bool
+	counter int64
+	rowUsed []bool
+	colUsed []bool
+}
+
+// NewWFA returns the base wave-front arbiter (round-robin start).
+func NewWFA() *WFA { return &WFA{} }
+
+// NewWFARotary returns the Rotary Rule variant.
+func NewWFARotary() *WFA { return &WFA{rotary: true} }
+
+// Name implements Arbiter.
+func (a *WFA) Name() string {
+	if a.rotary {
+		return "WFA-rotary"
+	}
+	return "WFA-base"
+}
+
+// Rotary reports whether this instance applies the Rotary Rule.
+func (a *WFA) Rotary() bool { return a.rotary }
+
+// Arbitrate implements Arbiter.
+func (a *WFA) Arbitrate(m *Matrix) []Grant {
+	if cap(a.rowUsed) < m.Rows {
+		a.rowUsed = make([]bool, m.Rows)
+	}
+	if cap(a.colUsed) < m.Cols {
+		a.colUsed = make([]bool, m.Cols)
+	}
+	rowUsed := a.rowUsed[:m.Rows]
+	colUsed := a.colUsed[:m.Cols]
+	for i := range rowUsed {
+		rowUsed[i] = false
+	}
+	for i := range colUsed {
+		colUsed[i] = false
+	}
+
+	var grants []Grant
+	if a.rotary {
+		// Rotary Rule: network-input rows sweep first at rotating priority;
+		// local rows then fill the remaining columns.
+		grants = a.wave(m, rowUsed, colUsed, func(r int) bool { return m.RowNetwork[r] }, grants)
+		grants = a.wave(m, rowUsed, colUsed, func(r int) bool { return !m.RowNetwork[r] }, grants)
+	} else {
+		grants = a.wave(m, rowUsed, colUsed, func(int) bool { return true }, grants)
+	}
+	a.counter++
+	return grants
+}
+
+// wave runs one wrapped wave-front over the rows selected by include,
+// starting from the rotating diagonal, honoring rows/columns already
+// claimed by an earlier pass.
+func (a *WFA) wave(m *Matrix, rowUsed, colUsed []bool, include func(int) bool, grants []Grant) []Grant {
+	n := m.Rows // diagonal modulus; Rows >= Cols in the 21364 (16 x 7)
+	if m.Cols > n {
+		n = m.Cols
+	}
+	start := int(a.counter) % n
+	for step := 0; step < n; step++ {
+		d := (start + step) % n
+		// Wrapped diagonal d holds cells with (i + j) mod n == d. Cells in
+		// one diagonal are row- and column-disjoint, so order within the
+		// diagonal doesn't matter.
+		for i := 0; i < m.Rows; i++ {
+			if !include(i) {
+				continue
+			}
+			j := (d - i%n + n) % n
+			if j >= m.Cols {
+				continue
+			}
+			if rowUsed[i] || colUsed[j] {
+				continue
+			}
+			if !m.At(i, j).Valid {
+				continue
+			}
+			rowUsed[i] = true
+			colUsed[j] = true
+			grants = append(grants, Grant{Row: i, Col: j, Cell: m.At(i, j)})
+		}
+	}
+	return grants
+}

@@ -1,0 +1,59 @@
+package core
+
+// WFAPlain is the original, non-wrapped Wave-Front Arbiter of Tamir and
+// Chi: a single wave sweeps the matrix from the top-left arbitration cell,
+// evaluating plain diagonals i+j = 0, 1, ... in order. Without wrapping
+// (or a rotated starting cell) the top-left corner holds permanent
+// priority, which is why Tamir and Chi rotate the start and why the paper
+// bases its timing on the Wrapped WFA, "which provides matching
+// performance similar to that of WFA's, but executes faster in hardware by
+// starting multiple wavefronts in parallel" (§3.2).
+//
+// WFAPlain exists for the fairness ablation and tests; it is not one of
+// the paper's measured configurations.
+type WFAPlain struct {
+	rowUsed []bool
+	colUsed []bool
+}
+
+// NewWFAPlain returns the fixed-priority, non-wrapped wave-front arbiter.
+func NewWFAPlain() *WFAPlain { return &WFAPlain{} }
+
+// Name implements Arbiter.
+func (a *WFAPlain) Name() string { return "WFA-plain" }
+
+// Arbitrate implements Arbiter.
+func (a *WFAPlain) Arbitrate(m *Matrix) []Grant {
+	if cap(a.rowUsed) < m.Rows {
+		a.rowUsed = make([]bool, m.Rows)
+	}
+	if cap(a.colUsed) < m.Cols {
+		a.colUsed = make([]bool, m.Cols)
+	}
+	rowUsed := a.rowUsed[:m.Rows]
+	colUsed := a.colUsed[:m.Cols]
+	for i := range rowUsed {
+		rowUsed[i] = false
+	}
+	for i := range colUsed {
+		colUsed[i] = false
+	}
+	var grants []Grant
+	for d := 0; d <= m.Rows+m.Cols-2; d++ {
+		// Plain diagonal d: cells (i, d-i). Conflict-free within the
+		// diagonal, strictly ordered across diagonals.
+		for i := 0; i < m.Rows; i++ {
+			j := d - i
+			if j < 0 || j >= m.Cols {
+				continue
+			}
+			if rowUsed[i] || colUsed[j] || !m.At(i, j).Valid {
+				continue
+			}
+			rowUsed[i] = true
+			colUsed[j] = true
+			grants = append(grants, Grant{Row: i, Col: j, Cell: m.At(i, j)})
+		}
+	}
+	return grants
+}

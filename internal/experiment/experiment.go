@@ -1,0 +1,371 @@
+// Package experiment reproduces the paper's evaluation: each figure of §5
+// has a runner that builds the right standalone or timing configuration,
+// sweeps the load axis, and returns the series/tables the paper plots.
+// The cmd/sweep tool and the repository's benchmarks are thin wrappers
+// around this package.
+package experiment
+
+import (
+	"fmt"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/network"
+	"alpha21364/internal/router"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/standalone"
+	"alpha21364/internal/stats"
+	"alpha21364/internal/traffic"
+)
+
+// Options tunes how faithfully the experiments are rerun. Quick mode
+// shortens the simulations for CI and benchmarks; the full mode matches
+// the paper's 75,000-cycle runs.
+type Options struct {
+	Quick bool
+	Seed  uint64
+	// CyclesOverride, when positive, replaces the per-run router cycle
+	// count (used by the benchmark harness).
+	CyclesOverride int
+	// MaxRatePoints, when positive, subsamples each load sweep to at most
+	// this many points, always keeping the lightest and heaviest loads.
+	MaxRatePoints int
+}
+
+// TimingCycles returns the per-run router cycle count.
+func (o Options) TimingCycles() int {
+	if o.CyclesOverride > 0 {
+		return o.CyclesOverride
+	}
+	if o.Quick {
+		return 15000
+	}
+	return 75000
+}
+
+// StandaloneCycles returns the standalone-model iteration count.
+func (o Options) StandaloneCycles() int {
+	if o.Quick {
+		return 400
+	}
+	return 1000
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// TimingSetup describes one timing-model run.
+type TimingSetup struct {
+	Width, Height  int
+	Kind           core.Kind
+	Pattern        traffic.Pattern
+	Rate           float64 // new transactions per node per router cycle
+	MaxOutstanding int     // 0 means the 21364 default of 16
+	ScalePipeline  bool    // Figure 11a's 2x-deep, 2x-fast pipeline
+	Cycles         int     // router cycles to simulate
+	WarmupFraction float64 // 0 means 0.2
+	Seed           uint64
+	// EpochCycles, when positive, tracks delivered flits in epochs of that
+	// many router cycles, exposing the cyclic delivered-throughput pattern
+	// the paper describes for saturated networks (§3.4).
+	EpochCycles int
+}
+
+// TimingResult is one BNF point plus diagnostic counters.
+type TimingResult struct {
+	stats.Point
+	Completed     int64
+	DrainEntries  int64
+	Collisions    int64
+	MeanHops      float64
+	AvgLatencyP99 float64
+	// EpochFlits and ThroughputCoV are filled when TimingSetup.EpochCycles
+	// is set: delivered flits per epoch and the coefficient of variation
+	// of the post-warmup epochs (a saturation-oscillation measure).
+	EpochFlits    []int64
+	ThroughputCoV float64
+}
+
+// RunTiming executes one timing simulation and returns its BNF point.
+func RunTiming(s TimingSetup) (TimingResult, error) {
+	return RunTimingWithRouter(s, nil)
+}
+
+// RunTimingWithRouter is RunTiming with a hook that may adjust the router
+// configuration before the network is built; the ablation benchmarks use
+// it to vary pipeline depth and initiation interval independently of the
+// per-algorithm defaults.
+func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResult, error) {
+	rcfg := router.DefaultConfig(s.Kind)
+	rcfg.Seed = s.Seed
+	if s.ScalePipeline {
+		rcfg = rcfg.ScalePipeline()
+	}
+	if mutate != nil {
+		mutate(&rcfg)
+	}
+	warmFrac := s.WarmupFraction
+	if warmFrac == 0 {
+		warmFrac = 0.2
+	}
+	end := sim.Ticks(s.Cycles) * rcfg.RouterPeriod
+	warmup := sim.Ticks(float64(end) * warmFrac)
+
+	eng := sim.NewEngine()
+	col := stats.NewCollector(warmup)
+	var epochs *stats.EpochSeries
+	if s.EpochCycles > 0 {
+		epochs = col.TrackEpochs(sim.Ticks(s.EpochCycles) * rcfg.RouterPeriod)
+	}
+	net, err := network.New(network.Config{Width: s.Width, Height: s.Height, Router: rcfg}, eng, col)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	tcfg := traffic.DefaultConfig(s.Pattern, s.Rate)
+	tcfg.Seed = s.Seed
+	if s.MaxOutstanding > 0 {
+		tcfg.MaxOutstanding = s.MaxOutstanding
+	}
+	gen := traffic.New(tcfg, net, eng, col)
+	eng.AddClock(rcfg.RouterPeriod, 0, gen)
+	eng.Run(end)
+
+	point := col.BNF(net.Nodes(), end)
+	point.OfferedRate = s.Rate
+	c := net.TotalCounters()
+	res := TimingResult{
+		Point:         point,
+		Completed:     gen.Completed(),
+		DrainEntries:  c.DrainEntries,
+		Collisions:    c.Collisions,
+		MeanHops:      col.MeanHops(),
+		AvgLatencyP99: col.PercentileLatencyNS(0.99),
+	}
+	if epochs != nil {
+		res.EpochFlits = epochs.Values()
+		warmEpochs := int(warmup / (sim.Ticks(s.EpochCycles) * rcfg.RouterPeriod))
+		// The last epoch may be partial (deliveries in flight at the end of
+		// the run); exclude it from the oscillation measure.
+		res.ThroughputCoV = epochs.CoefficientOfVariation(warmEpochs, len(res.EpochFlits)-1)
+	}
+	return res, nil
+}
+
+// Sweep runs a load sweep for one algorithm and returns its BNF curve.
+func Sweep(s TimingSetup, rates []float64) (stats.Series, error) {
+	series := stats.Series{Label: s.Kind.String()}
+	for _, r := range rates {
+		s.Rate = r
+		res, err := RunTiming(s)
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, res.Point)
+	}
+	return series, nil
+}
+
+// Panel is one BNF chart: several algorithms swept over the same loads.
+type Panel struct {
+	Title  string
+	Rates  []float64
+	Series []stats.Series
+}
+
+// runPanel sweeps each algorithm over the panel's rates.
+func runPanel(title string, base TimingSetup, kinds []core.Kind, rates []float64) (Panel, error) {
+	p := Panel{Title: title, Rates: rates}
+	for _, k := range kinds {
+		s := base
+		s.Kind = k
+		series, err := Sweep(s, rates)
+		if err != nil {
+			return p, fmt.Errorf("%s / %v: %w", title, k, err)
+		}
+		p.Series = append(p.Series, series)
+	}
+	return p, nil
+}
+
+// Figure10Kinds are the five algorithms of Figure 10.
+var Figure10Kinds = []core.Kind{
+	core.KindPIM1, core.KindWFABase, core.KindWFARotary,
+	core.KindSPAABase, core.KindSPAARotary,
+}
+
+// Figure11Kinds are the three algorithms of the scaling studies.
+var Figure11Kinds = []core.Kind{core.KindPIM1, core.KindWFARotary, core.KindSPAARotary}
+
+// Rates4x4 and friends are the default load sweeps; they span from well
+// below saturation to beyond it.
+var (
+	Rates4x4   = []float64{0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.065, 0.08, 0.1, 0.13}
+	Rates8x8   = []float64{0.002, 0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.04, 0.055, 0.075}
+	Rates12x12 = []float64{0.001, 0.003, 0.006, 0.01, 0.014, 0.018, 0.024, 0.032, 0.045, 0.06}
+)
+
+func (o Options) rates(full []float64) []float64 {
+	want := len(full)
+	if o.Quick {
+		want = (len(full) + 1) / 2
+	}
+	if o.MaxRatePoints > 0 && o.MaxRatePoints < want {
+		want = o.MaxRatePoints
+	}
+	if want >= len(full) {
+		return full
+	}
+	if want < 2 {
+		want = 2
+	}
+	// Evenly subsample, always keeping the lightest and heaviest loads.
+	out := make([]float64, 0, want)
+	for i := 0; i < want; i++ {
+		idx := i * (len(full) - 1) / (want - 1)
+		out = append(out, full[idx])
+	}
+	return out
+}
+
+// Figure10 reproduces the four BNF panels of Figure 10.
+func Figure10(o Options) ([]Panel, error) {
+	type panelDef struct {
+		title   string
+		w, h    int
+		pattern traffic.Pattern
+		rates   []float64
+	}
+	defs := []panelDef{
+		{"4x4, Random Traffic", 4, 4, traffic.Uniform, Rates4x4},
+		{"8x8, Random Traffic", 8, 8, traffic.Uniform, Rates8x8},
+		{"8x8, Bit Reversal", 8, 8, traffic.BitReversal, Rates8x8},
+		{"8x8, Perfect Shuffle", 8, 8, traffic.PerfectShuffle, Rates8x8},
+	}
+	var panels []Panel
+	for _, d := range defs {
+		base := TimingSetup{
+			Width: d.w, Height: d.h, Pattern: d.pattern,
+			Cycles: o.TimingCycles(), Seed: o.seed(),
+		}
+		p, err := runPanel(d.title, base, Figure10Kinds, o.rates(d.rates))
+		if err != nil {
+			return panels, err
+		}
+		panels = append(panels, p)
+	}
+	return panels, nil
+}
+
+// Figure10Saturation is a companion panel to Figure 10: the same 8x8
+// random-traffic sweep with the outstanding-miss limit raised to 64.
+//
+// Why it exists: with the 21364's strict 16-miss limit, at most 1024
+// packets are ever in flight in an 8x8 machine — far too few to fill the
+// routers' buffers — so in our reconstruction the closed loop reaches a
+// stable equilibrium instead of the post-saturation collapse the paper's
+// Figure 10 shows for the base algorithms. Raising the in-flight pressure
+// reproduces the paper's phenomenon exactly: tree saturation collapses
+// WFA-base/SPAA-base/PIM1 while the Rotary Rule variants hold their peak
+// throughput. See EXPERIMENTS.md for the discussion.
+func Figure10Saturation(o Options) (Panel, error) {
+	base := TimingSetup{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
+	}
+	return runPanel("8x8, Random Traffic, 64 outstanding (saturation companion)",
+		base, Figure10Kinds, o.rates(Rates8x8))
+}
+
+// Figure11a reproduces the 2x-pipeline scaling study (8x8 random).
+func Figure11a(o Options) (Panel, error) {
+	base := TimingSetup{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		ScalePipeline: true, Cycles: o.TimingCycles() * 2, Seed: o.seed(),
+	}
+	return runPanel("2x Pipeline, 8x8, Random Traffic", base, Figure11Kinds, o.rates(Rates8x8))
+}
+
+// Figure11b reproduces the 64-outstanding-miss study (8x8 random).
+func Figure11b(o Options) (Panel, error) {
+	base := TimingSetup{
+		Width: 8, Height: 8, Pattern: traffic.Uniform,
+		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
+	}
+	return runPanel("64 requests, 8x8, Random Traffic", base, Figure11Kinds, o.rates(Rates8x8))
+}
+
+// Figure11c reproduces the 12x12 (144-processor) scaling study.
+func Figure11c(o Options) (Panel, error) {
+	base := TimingSetup{
+		Width: 12, Height: 12, Pattern: traffic.Uniform,
+		Cycles: o.TimingCycles(), Seed: o.seed(),
+	}
+	return runPanel("12x12, Random Traffic", base, Figure11Kinds, o.rates(Rates12x12))
+}
+
+// StandaloneCurve is one algorithm's standalone match-rate curve.
+type StandaloneCurve struct {
+	Label  string
+	Values []float64
+}
+
+// Figure8Result holds the standalone load sweep.
+type Figure8Result struct {
+	// LoadFractions of the MCM saturation load (horizontal axis).
+	LoadFractions  []float64
+	SaturationLoad float64
+	Curves         []StandaloneCurve
+}
+
+// Figure8Kinds are the algorithms of Figures 8 and 9.
+var Figure8Kinds = []core.Kind{
+	core.KindMCM, core.KindWFABase, core.KindPIM, core.KindPIM1, core.KindSPAABase,
+}
+
+// Figure8 reproduces the standalone matching-capability sweep.
+func Figure8(o Options) Figure8Result {
+	cfg := standalone.DefaultConfig(0)
+	cfg.Cycles = o.StandaloneCycles()
+	cfg.Seed = o.seed()
+	sat := standalone.MCMSaturationLoad(cfg)
+	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	res := Figure8Result{LoadFractions: fractions, SaturationLoad: sat}
+	for _, k := range Figure8Kinds {
+		curve := StandaloneCurve{Label: k.String()}
+		for _, f := range fractions {
+			cfg.Load = f * sat
+			curve.Values = append(curve.Values, standalone.Run(k, cfg).MatchesPerCycle)
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}
+
+// Figure9Result holds the occupancy sweep at the MCM saturation load.
+type Figure9Result struct {
+	Occupancies []float64
+	Curves      []StandaloneCurve
+}
+
+// Figure9 reproduces the output-port occupancy sweep.
+func Figure9(o Options) Figure9Result {
+	cfg := standalone.DefaultConfig(0)
+	cfg.Cycles = o.StandaloneCycles()
+	cfg.Seed = o.seed()
+	cfg.Load = standalone.MCMSaturationLoad(cfg)
+	occupancies := []float64{0, 0.25, 0.5, 0.75}
+	res := Figure9Result{Occupancies: occupancies}
+	for _, k := range Figure8Kinds {
+		curve := StandaloneCurve{Label: k.String()}
+		for _, occ := range occupancies {
+			c := cfg
+			c.Occupancy = occ
+			curve.Values = append(curve.Values, standalone.Run(k, c).MatchesPerCycle)
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted result grid for terminal and CSV output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders a BNF panel: one row per load point with per-algorithm
+// throughput and latency columns, matching the axes of the paper's charts.
+func (p Panel) Table() Table {
+	t := Table{Title: p.Title}
+	t.Columns = append(t.Columns, "rate(txn/node/cyc)")
+	for _, s := range p.Series {
+		t.Columns = append(t.Columns, s.Label+" tput", s.Label+" lat(ns)")
+	}
+	for i := range p.Rates {
+		row := []string{fmt.Sprintf("%.4f", p.Rates[i])}
+		for _, s := range p.Series {
+			if i < len(s.Points) {
+				row = append(row,
+					fmt.Sprintf("%.4f", s.Points[i].Throughput),
+					fmt.Sprintf("%.1f", s.Points[i].AvgLatencyNS))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table renders the Figure 8 load sweep.
+func (r Figure8Result) Table() Table {
+	t := Table{Title: fmt.Sprintf(
+		"Figure 8: standalone matches/cycle vs load (MCM saturation load = %.2f pkts/port/cycle)",
+		r.SaturationLoad)}
+	t.Columns = append(t.Columns, "load-fraction")
+	for _, c := range r.Curves {
+		t.Columns = append(t.Columns, c.Label)
+	}
+	for i, f := range r.LoadFractions {
+		row := []string{fmt.Sprintf("%.1f", f)}
+		for _, c := range r.Curves {
+			row = append(row, fmt.Sprintf("%.2f", c.Values[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table renders the Figure 9 occupancy sweep.
+func (r Figure9Result) Table() Table {
+	t := Table{Title: "Figure 9: standalone matches/cycle vs output-port occupancy (at MCM saturation load)"}
+	t.Columns = append(t.Columns, "occupancy")
+	for _, c := range r.Curves {
+		t.Columns = append(t.Columns, c.Label)
+	}
+	for i, occ := range r.Occupancies {
+		row := []string{fmt.Sprintf("%.2f", occ)}
+		for _, c := range r.Curves {
+			row = append(row, fmt.Sprintf("%.2f", c.Values[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+package network
+
+import (
+	"testing"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/topology"
+)
+
+// invariantChecker runs CheckInvariants on every router-clock edge during
+// a simulation, catching credit leaks the moment they happen.
+type invariantChecker struct{ net *Network }
+
+func (c *invariantChecker) Tick(now sim.Ticks) { c.net.CheckInvariants() }
+
+func TestInvariantsHoldUnderRandomTraffic(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindSPAABase, core.KindSPAARotary, core.KindWFARotary, core.KindPIM1} {
+		net, eng, col := build(t, kind, 4, 4)
+		eng.AddClock(sim.RouterPeriod, 3, &invariantChecker{net})
+		rng := sim.NewRNG(77)
+		id := uint64(0)
+		// Inject random bursts over time from random nodes.
+		for wave := 0; wave < 30; wave++ {
+			at := sim.Ticks(wave) * 40 * sim.RouterPeriod
+			eng.Schedule(at, func() {
+				for k := 0; k < 12; k++ {
+					id++
+					src := topology.Node(rng.Intn(net.Nodes()))
+					dst := topology.Node(rng.Intn(net.Nodes()))
+					cl := []packet.Class{packet.Request, packet.Forward, packet.BlockResponse}[rng.Intn(3)]
+					p := packet.New(id, cl, src, dst, eng.Now())
+					net.Inject(p, src, ports.InCache, eng.Now())
+				}
+			})
+		}
+		eng.Run(200000)
+		net.CheckInvariants()
+		if col.Packets() == 0 {
+			t.Fatalf("%v: nothing delivered", kind)
+		}
+		if net.Buffered() != 0 {
+			t.Fatalf("%v: %d packets never drained", kind, net.Buffered())
+		}
+	}
+}
+
+func TestInvariantViolationDetected(t *testing.T) {
+	net, _, _ := build(t, core.KindSPAABase, 4, 4)
+	// Sabotage a credit pool: a double release must be caught.
+	net.Router(0).OutputCredits(ports.OutEast).Release(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckInvariants missed a credit double-release")
+		}
+	}()
+	net.CheckInvariants()
+}

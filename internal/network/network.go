@@ -1,0 +1,176 @@
+// Package network assembles 21364 routers into the 2D-torus interconnect
+// of the paper's timing model: one router per processor, four inter-router
+// links per router running at 0.8 GHz with a three-network-clock wire
+// latency, and local ports wired to the processor model's sinks.
+package network
+
+import (
+	"fmt"
+
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/router"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
+	"alpha21364/internal/vc"
+)
+
+// Config describes a torus network build.
+type Config struct {
+	Width, Height int
+	Router        router.Config
+}
+
+// DeliverHandler observes every packet consumed at a destination local
+// port (after statistics are recorded). The traffic generator uses it to
+// advance coherence transactions.
+type DeliverHandler func(p *packet.Packet, at sim.Ticks)
+
+// Network is a torus of routers bound to a simulation engine.
+type Network struct {
+	cfg       Config
+	torus     topology.Torus
+	eng       *sim.Engine
+	routers   []*router.Router
+	collector *stats.Collector
+	onDeliver DeliverHandler
+	// linkFlight counts packets dispatched onto a link but not yet
+	// committed to the neighbor's buffer (conservation accounting).
+	linkFlight int64
+}
+
+// New builds and wires the network and attaches every router to a router-
+// clock domain on eng. Deliveries are recorded into collector.
+func New(cfg Config, eng *sim.Engine, collector *stats.Collector) (*Network, error) {
+	torus := topology.NewTorus(cfg.Width, cfg.Height)
+	n := &Network{
+		cfg:       cfg,
+		torus:     torus,
+		eng:       eng,
+		collector: collector,
+		routers:   make([]*router.Router, torus.Nodes()),
+	}
+	for node := 0; node < torus.Nodes(); node++ {
+		r, err := router.New(cfg.Router, topology.Node(node), torus)
+		if err != nil {
+			return nil, fmt.Errorf("network: node %d: %w", node, err)
+		}
+		n.routers[node] = r
+	}
+	linkLatency := sim.Ticks(cfg.Router.LinkLatencyCycles) * cfg.Router.LinkPeriod
+	for node := 0; node < torus.Nodes(); node++ {
+		r := n.routers[node]
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			neighbor := n.routers[torus.Neighbor(topology.Node(node), d)]
+			inPort := ports.InFromDir(d.Opposite())
+			r.ConnectNetwork(ports.OutForDir(d), n.makeLink(neighbor, inPort, linkLatency))
+		}
+		for _, out := range []ports.Out{ports.OutMC0, ports.OutMC1, ports.OutIO} {
+			r.ConnectLocal(out, n.makeSink())
+		}
+	}
+	clocked := make([]sim.Clocked, len(n.routers))
+	for i, r := range n.routers {
+		clocked[i] = r
+	}
+	eng.AddClock(cfg.Router.RouterPeriod, 0, clocked...)
+	return n, nil
+}
+
+// makeLink returns the SendFunc for one directed link: the packet's header
+// crosses the wire in linkLatency and is then committed to the neighbor's
+// input buffer (the credit was reserved by the sender).
+func (n *Network) makeLink(neighbor *router.Router, in ports.In, linkLatency sim.Ticks) router.SendFunc {
+	return func(p *packet.Packet, targetCh vc.Channel, headerDepart sim.Ticks, creditHome *vc.Credits) {
+		arriveAt := headerDepart + linkLatency
+		n.linkFlight++
+		n.eng.Schedule(arriveAt, func() {
+			n.linkFlight--
+			neighbor.Arrive(p, in, targetCh, arriveAt, creditHome)
+		})
+	}
+}
+
+// makeSink returns the DeliverFunc for a local output port: statistics are
+// recorded and the traffic model notified at the time the last flit
+// reaches the processor.
+func (n *Network) makeSink() router.DeliverFunc {
+	return func(p *packet.Packet, at sim.Ticks) {
+		n.eng.Schedule(at, func() {
+			n.collector.Delivered(p, at)
+			if n.onDeliver != nil {
+				n.onDeliver(p, at)
+			}
+		})
+	}
+}
+
+// OnDeliver installs the delivery observer (at most one; the traffic
+// generator).
+func (n *Network) OnDeliver(h DeliverHandler) {
+	if n.onDeliver != nil {
+		panic("network: delivery handler already installed")
+	}
+	n.onDeliver = h
+}
+
+// Torus returns the network's topology.
+func (n *Network) Torus() topology.Torus { return n.torus }
+
+// Nodes returns the number of routers.
+func (n *Network) Nodes() int { return len(n.routers) }
+
+// Router returns the router at a node.
+func (n *Network) Router(node topology.Node) *router.Router { return n.routers[node] }
+
+// Inject offers a packet to a node's local input port, returning false on
+// backpressure.
+func (n *Network) Inject(p *packet.Packet, node topology.Node, in ports.In, now sim.Ticks) bool {
+	return n.routers[node].Inject(p, in, now)
+}
+
+// Buffered returns the total packets buffered across all routers.
+func (n *Network) Buffered() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.Buffered()
+	}
+	return total
+}
+
+// CheckInvariants verifies cross-router conservation: no credit pool
+// exceeds its capacity (double release) or goes negative, and every
+// injected packet is either delivered or still buffered. It panics on
+// violation; tests call it after (and during) simulations.
+func (n *Network) CheckInvariants() {
+	cfg := n.cfg.Router.Buffers
+	for _, r := range n.routers {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			r.OutputCredits(ports.OutForDir(d)).CheckBounds(cfg)
+		}
+	}
+	c := n.TotalCounters()
+	held := int64(n.Buffered()) + n.linkFlight
+	if c.Injected != c.DeliveredLocal+held {
+		panic(fmt.Sprintf("network: %d injected != %d delivered + %d buffered/in-flight",
+			c.Injected, c.DeliveredLocal, held))
+	}
+}
+
+// TotalCounters sums the per-router counters.
+func (n *Network) TotalCounters() router.Counters {
+	var t router.Counters
+	for _, r := range n.routers {
+		c := r.Counters
+		t.Injected += c.Injected
+		t.Arrived += c.Arrived
+		t.Nominations += c.Nominations
+		t.Grants += c.Grants
+		t.Collisions += c.Collisions
+		t.WastedSpecReads += c.WastedSpecReads
+		t.DrainEntries += c.DrainEntries
+		t.DeliveredLocal += c.DeliveredLocal
+	}
+	return t
+}

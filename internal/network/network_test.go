@@ -1,0 +1,204 @@
+package network
+
+import (
+	"testing"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/router"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
+)
+
+func build(t *testing.T, kind core.Kind, w, h int) (*Network, *sim.Engine, *stats.Collector) {
+	t.Helper()
+	eng := sim.NewEngine()
+	col := stats.NewCollector(0)
+	net, err := New(Config{Width: w, Height: h, Router: router.DefaultConfig(kind)}, eng, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, eng, col
+}
+
+func TestSinglePacketCrossesNetwork(t *testing.T) {
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	p := packet.New(1, packet.Request, 0, 5, 0) // (0,0) -> (1,1): two hops
+	eng.Schedule(0, func() {
+		if !net.Inject(p, 0, ports.InCache, 0) {
+			t.Fatal("injection failed on empty network")
+		}
+	})
+	eng.Run(10000)
+	if col.Packets() != 1 {
+		t.Fatalf("delivered %d packets, want 1", col.Packets())
+	}
+	if p.Hops != 2 {
+		t.Errorf("packet took %d hops, want 2", p.Hops)
+	}
+	if net.Buffered() != 0 {
+		t.Errorf("%d packets still buffered", net.Buffered())
+	}
+}
+
+// TestZeroLoadLatency reproduces the paper's §4.3 calibration: the minimum
+// per-packet latency in a 4x4 network is about 45 ns, decomposed into
+// 2.5 ns of local port latency, ~34 ns of network transit for the first
+// flit over an average ~2-hop path, and ~8.5 ns for the rest of the packet.
+func TestZeroLoadLatency(t *testing.T) {
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	// One request per node to a 2-hop diagonal neighbor, spaced far apart
+	// in time so there is no contention at all.
+	torus := net.Torus()
+	id := uint64(0)
+	for n := 0; n < net.Nodes(); n++ {
+		n := n
+		at := sim.Ticks(n) * 3000
+		eng.Schedule(at, func() {
+			id++
+			c := torus.Coord(topology.Node(n))
+			dst := torus.Node(topology.Coord{X: c.X + 1, Y: c.Y + 1})
+			p := packet.New(id, packet.Request, topology.Node(n), dst, at)
+			if !net.Inject(p, topology.Node(n), ports.InCache, at) {
+				t.Errorf("node %d: zero-load injection failed", n)
+			}
+		})
+	}
+	eng.Run(100000)
+	if col.Packets() != int64(net.Nodes()) {
+		t.Fatalf("delivered %d packets, want %d", col.Packets(), net.Nodes())
+	}
+	// A 2-hop 3-flit request: ~2.5 ns local + 2 x pin-to-pin + links +
+	// delivery. The paper's 45 ns figure is the average over the packet mix
+	// (19-flit responses push it up); a bare request lands in the 30-45 ns
+	// band.
+	avg := col.AvgLatencyNS()
+	if avg < 28 || avg > 48 {
+		t.Errorf("zero-load 2-hop request latency = %.1f ns, want ~30-45 ns", avg)
+	}
+}
+
+func TestWrapAroundRouting(t *testing.T) {
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	// (0,0) -> (3,0) is one hop west across the wrap link.
+	p := packet.New(1, packet.Request, 0, 3, 0)
+	eng.Schedule(0, func() { net.Inject(p, 0, ports.InCache, 0) })
+	eng.Run(10000)
+	if col.Packets() != 1 {
+		t.Fatalf("delivered %d packets, want 1", col.Packets())
+	}
+	if p.Hops != 1 {
+		t.Errorf("wrap route took %d hops, want 1", p.Hops)
+	}
+}
+
+func TestSelfAddressedPacketStaysLocal(t *testing.T) {
+	// A local miss to local memory crosses the router's crossbar (cache
+	// port to MC port) but never uses a network link.
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	p := packet.New(1, packet.Request, 5, 5, 0)
+	eng.Schedule(0, func() { net.Inject(p, 5, ports.InCache, 0) })
+	eng.Run(5000)
+	if col.Packets() != 1 {
+		t.Fatalf("delivered %d, want 1", col.Packets())
+	}
+	if p.Hops != 0 {
+		t.Errorf("self-addressed packet took %d network hops", p.Hops)
+	}
+}
+
+func TestAllPairsDelivery(t *testing.T) {
+	// Every node sends one packet to every other node; all must arrive
+	// (deadlock/livelock smoke test across all three algorithms).
+	for _, kind := range []core.Kind{core.KindSPAABase, core.KindWFABase, core.KindPIM1} {
+		net, eng, col := build(t, kind, 4, 4)
+		id := uint64(0)
+		eng.Schedule(0, func() {
+			for s := 0; s < net.Nodes(); s++ {
+				for d := 0; d < net.Nodes(); d++ {
+					if s == d {
+						continue
+					}
+					id++
+					p := packet.New(id, packet.Request, topology.Node(s), topology.Node(d), 0)
+					if !net.Inject(p, topology.Node(s), ports.InCache, 0) {
+						t.Fatalf("%v: injection burst overflowed cache buffer", kind)
+					}
+				}
+			}
+		})
+		eng.Run(2_000_000)
+		want := int64(net.Nodes() * (net.Nodes() - 1))
+		if col.Packets() != want {
+			t.Fatalf("%v: delivered %d of %d packets", kind, col.Packets(), want)
+		}
+		if net.Buffered() != 0 {
+			t.Fatalf("%v: %d packets stuck in buffers", kind, net.Buffered())
+		}
+	}
+}
+
+func TestHopsMatchMinimalDistance(t *testing.T) {
+	net, eng, _ := build(t, core.KindSPAABase, 8, 8)
+	torus := net.Torus()
+	type sent struct {
+		p        *packet.Packet
+		distance int
+	}
+	var all []sent
+	id := uint64(0)
+	eng.Schedule(0, func() {
+		for s := 0; s < 16; s++ {
+			src := topology.Node(s * 4)
+			dst := topology.Node((s*7 + 13) % net.Nodes())
+			if src == dst {
+				continue
+			}
+			id++
+			p := packet.New(id, packet.Request, src, dst, 0)
+			all = append(all, sent{p, torus.Distance(src, dst)})
+			net.Inject(p, src, ports.InCache, 0)
+		}
+	})
+	eng.Run(200000)
+	for _, s := range all {
+		if s.p.Hops != s.distance {
+			t.Errorf("packet %d took %d hops, minimal distance %d (non-minimal route!)",
+				s.p.ID, s.p.Hops, s.distance)
+		}
+	}
+}
+
+func TestTotalCountersAggregate(t *testing.T) {
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			p := packet.New(uint64(i+1), packet.Request, 0, 10, 0)
+			net.Inject(p, 0, ports.InCache, 0)
+		}
+	})
+	eng.Run(100000)
+	c := net.TotalCounters()
+	if c.Injected != 10 {
+		t.Errorf("Injected = %d, want 10", c.Injected)
+	}
+	if c.DeliveredLocal != 10 || col.Packets() != 10 {
+		t.Errorf("delivered = %d/%d, want 10", c.DeliveredLocal, col.Packets())
+	}
+	// Each delivery is one grant at the final router plus one per hop.
+	if c.Grants < 10 {
+		t.Errorf("Grants = %d, want >= 10", c.Grants)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	col := stats.NewCollector(0)
+	cfg := router.DefaultConfig(core.KindSPAABase)
+	cfg.Kind = core.KindMCM
+	if _, err := New(Config{Width: 4, Height: 4, Router: cfg}, eng, col); err == nil {
+		t.Fatal("MCM timing network accepted")
+	}
+}

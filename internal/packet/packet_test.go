@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassFlits(t *testing.T) {
+	cases := map[Class]int{
+		Request:          3,
+		Forward:          3,
+		BlockResponse:    19,
+		NonBlockResponse: 3,
+		WriteIO:          19,
+		ReadIO:           3,
+		Special:          1,
+	}
+	for c, want := range cases {
+		if got := c.Flits(); got != want {
+			t.Errorf("%v.Flits() = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestBlockResponseCarriesCacheBlock(t *testing.T) {
+	// A 19-flit block response carries 3 header flits + 16 data flits of 32
+	// bits = 64 bytes, matching the paper's cache block description.
+	dataFlits := BlockResponse.Flits() - 3
+	if dataFlits*32/8 != 64 {
+		t.Errorf("block response data payload = %d bytes, want 64", dataFlits*32/8)
+	}
+}
+
+func TestIsIO(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		want := c == WriteIO || c == ReadIO
+		if got := c.IsIO(); got != want {
+			t.Errorf("%v.IsIO() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestNewPacket(t *testing.T) {
+	p := New(7, BlockResponse, 3, 12, 100)
+	if p.Flits != 19 || p.ID != 7 || p.Src != 3 || p.Dst != 12 || p.Created != 100 {
+		t.Errorf("New produced %+v", p)
+	}
+	if p.String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestClassStringTotal(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Class(raw)
+		return c.String() != "" // never panics, always names
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidClassFlitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Flits on invalid class should panic")
+		}
+	}()
+	Class(200).Flits()
+}

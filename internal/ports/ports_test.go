@@ -1,0 +1,148 @@
+package ports
+
+import (
+	"testing"
+
+	"alpha21364/internal/topology"
+)
+
+func TestPortCounts(t *testing.T) {
+	if NumIn != 8 {
+		t.Errorf("NumIn = %d, want 8", NumIn)
+	}
+	if NumOut != 7 {
+		t.Errorf("NumOut = %d, want 7", NumOut)
+	}
+	if NumRows != 16 {
+		t.Errorf("NumRows = %d, want 16 (two read ports per input buffer)", NumRows)
+	}
+}
+
+func TestNetworkClassification(t *testing.T) {
+	for p := In(0); p < NumIn; p++ {
+		want := p <= InWest
+		if p.IsNetwork() != want {
+			t.Errorf("%v.IsNetwork() = %v", p, p.IsNetwork())
+		}
+	}
+	networkOuts := 0
+	for p := Out(0); p < NumOut; p++ {
+		if p.IsNetwork() {
+			networkOuts++
+			if p.IsLocal() {
+				t.Errorf("%v both network and local", p)
+			}
+		}
+	}
+	if networkOuts != 4 {
+		t.Errorf("%d network outputs, want 4", networkOuts)
+	}
+}
+
+func TestDirPortMapping(t *testing.T) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		out := OutForDir(d)
+		if out.Dir() != d {
+			t.Errorf("OutForDir(%v).Dir() = %v", d, out.Dir())
+		}
+		// A packet leaving toward d arrives at the neighbor on the port
+		// facing back along d's opposite.
+		in := InFromDir(d.Opposite())
+		if !in.IsNetwork() {
+			t.Errorf("arrival port for %v is not a network port", d)
+		}
+	}
+	// Concrete case: sending south arrives on the receiver's north port.
+	if got := InFromDir(topology.North); got != InNorth {
+		t.Errorf("InFromDir(North) = %v, want InNorth", got)
+	}
+}
+
+func TestRowLayout(t *testing.T) {
+	seen := map[int]bool{}
+	for in := In(0); in < NumIn; in++ {
+		for rp := 0; rp < 2; rp++ {
+			r := Row(in, rp)
+			if r < 0 || r >= NumRows || seen[r] {
+				t.Fatalf("Row(%v,%d) = %d invalid or duplicate", in, rp, r)
+			}
+			seen[r] = true
+			if RowIn(r) != in || RowReadPort(r) != rp {
+				t.Errorf("row %d decodes to (%v,%d)", r, RowIn(r), RowReadPort(r))
+			}
+		}
+	}
+}
+
+func TestDefaultConnectionMatrixStructure(t *testing.T) {
+	cm := DefaultConnectionMatrix()
+
+	// No 180-degree turns for network inputs.
+	for in := In(0); in <= InWest; in++ {
+		if cm.LegalOuts(in).Has(Out(in)) {
+			t.Errorf("network input %v connects to reversal output %v", in, Out(in))
+		}
+		if got := cm.LegalOuts(in).Count(); got != 6 {
+			t.Errorf("%v legal outputs = %d, want 6", in, got)
+		}
+	}
+	// I/O input cannot reach the I/O output.
+	if cm.LegalOuts(InIO).Has(OutIO) {
+		t.Error("I/O input connects to I/O output")
+	}
+	// Locals reach everything.
+	for _, in := range []In{InCache, InMC0, InMC1} {
+		if cm.LegalOuts(in) != AllOuts {
+			t.Errorf("%v legal outputs = %07b, want all", in, cm.LegalOuts(in))
+		}
+	}
+	// Read ports of one input are disjoint and cover the legal set.
+	for in := In(0); in < NumIn; in++ {
+		rp0, rp1 := cm[Row(in, 0)], cm[Row(in, 1)]
+		if rp0&rp1 != 0 {
+			t.Errorf("%v read ports overlap: %07b & %07b", in, rp0, rp1)
+		}
+		if rp0|rp1 != cm.LegalOuts(in) {
+			t.Errorf("%v read ports do not cover legal outputs", in)
+		}
+		// Both read ports must carry some connections (the figure shows no
+		// empty rows).
+		if rp0 == 0 || rp1 == 0 {
+			t.Errorf("%v has an unconnected read port", in)
+		}
+	}
+	// Total connected cells: our reconstruction gives 51 (the figure shows
+	// 54; the exact shading is not published — see DESIGN.md).
+	if got := cm.Cells(); got != 51 {
+		t.Errorf("connected cells = %d, want 51", got)
+	}
+}
+
+func TestFullConnectionMatrix(t *testing.T) {
+	cm := FullConnectionMatrix()
+	for in := In(0); in < NumIn; in++ {
+		if cm[Row(in, 0)] != cm[Row(in, 1)] {
+			t.Errorf("full matrix read ports differ for %v", in)
+		}
+	}
+	if cm.LegalOuts(InNorth).Has(OutNorth) {
+		t.Error("full matrix allows 180-degree turn")
+	}
+}
+
+func TestOutMask(t *testing.T) {
+	var m OutMask
+	m = m.With(OutEast).With(OutIO)
+	if !m.Has(OutEast) || !m.Has(OutIO) || m.Has(OutNorth) {
+		t.Errorf("mask ops wrong: %07b", m)
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+	if AllOuts.Count() != 7 || NetworkOuts.Count() != 4 || LocalOuts.Count() != 3 {
+		t.Error("canonical masks have wrong sizes")
+	}
+	if NetworkOuts&LocalOuts != 0 || NetworkOuts|LocalOuts != AllOuts {
+		t.Error("network/local masks do not partition outputs")
+	}
+}

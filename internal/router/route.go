@@ -1,0 +1,124 @@
+package router
+
+import (
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/topology"
+	"alpha21364/internal/vc"
+)
+
+// move is one candidate (output port, downstream channel) for a packet,
+// together with the connection-matrix row (read port) that reaches the
+// output.
+type move struct {
+	out      ports.Out
+	row      int
+	targetCh vc.Channel // meaningful for network moves only
+	local    bool
+}
+
+// rowFor returns the read-port row of input in that the crossbar connects
+// to out, or -1 if neither read port reaches it.
+func (r *Router) rowFor(in ports.In, out ports.Out) int {
+	if r.cfg.Conn.Connected(ports.Row(in, 0), out) {
+		return ports.Row(in, 0)
+	}
+	if r.cfg.Conn.Connected(ports.Row(in, 1), out) {
+		return ports.Row(in, 1)
+	}
+	return -1
+}
+
+// localOut picks the processor-facing output port for a packet addressed
+// to this node. I/O packets use the I/O port; everything else drains
+// through the two memory-controller ports (which are also the path to the
+// internal cache, §2.1), interleaved by packet ID as a stand-in for
+// address interleaving across the two Rambus controllers.
+func localOut(p *packet.Packet) ports.Out {
+	if p.Class.IsIO() {
+		return ports.OutIO
+	}
+	if p.ID%2 == 0 {
+		return ports.OutMC0
+	}
+	return ports.OutMC1
+}
+
+// readyMoves appends to dst the packet's ready candidate moves at gaTick,
+// in routing-preference order, and returns the extended slice:
+//
+//   - a packet addressed to this node uses its local output port;
+//   - otherwise the adaptive channel offers up to two minimal-rectangle
+//     directions (packets route adaptively until blocked, §2.1) — the
+//     preference between two productive directions rotates per input port;
+//   - when no adaptive move is ready (blocked: port busy or no buffer), the
+//     packet may escape into the deadlock-free channels, taking the strict
+//     dimension-order hop with VC0/VC1 chosen by the dateline rule;
+//   - I/O-class packets route only in the deadlock-free channels (§2.1
+//     footnote).
+//
+// A move is ready when the output port will be free at grant time, the
+// crossbar connects one of the input's read ports to it, and (for network
+// moves) the downstream virtual channel has a free packet buffer.
+func (r *Router) readyMoves(pk *pkState, gaTick sim.Ticks, dst []move) []move {
+	p := pk.pkt
+	if p.Dst == r.node {
+		out := localOut(p)
+		row := r.rowFor(pk.in, out)
+		if row >= 0 && r.outputs[out].freeForGrant(gaTick, r.postArbTicks) {
+			dst = append(dst, move{out: out, row: row, local: true})
+		}
+		return dst
+	}
+
+	cls := p.Class
+	if !cls.IsIO() {
+		adaptiveCh := vc.Of(cls, vc.Adaptive)
+		dirs := r.torus.ProductiveDirs(r.node, p.Dst)
+		// Rotate which productive direction is preferred so traffic spreads
+		// over both minimal-rectangle sides.
+		if len(dirs) == 2 && r.dirPref[pk.in]&1 == 1 {
+			dirs[0], dirs[1] = dirs[1], dirs[0]
+		}
+		for _, d := range dirs {
+			if m, ok := r.networkMove(pk, d, adaptiveCh, gaTick); ok {
+				dst = append(dst, m)
+			}
+		}
+		if len(dst) > 0 {
+			return dst
+		}
+	}
+
+	// Blocked in the adaptive channel (or an I/O packet): deadlock-free
+	// escape along dimension order.
+	d, ok := r.torus.DORDir(r.node, p.Dst)
+	if !ok {
+		return dst
+	}
+	sub := vc.VC0
+	if r.torus.WrapsAhead(r.node, p.Dst, d) {
+		sub = vc.VC1
+	}
+	if m, ok := r.networkMove(pk, d, vc.Of(cls, sub), gaTick); ok {
+		dst = append(dst, m)
+	}
+	return dst
+}
+
+func (r *Router) networkMove(pk *pkState, d topology.Dir, targetCh vc.Channel, gaTick sim.Ticks) (move, bool) {
+	out := ports.OutForDir(d)
+	row := r.rowFor(pk.in, out)
+	if row < 0 {
+		return move{}, false
+	}
+	op := r.outputs[out]
+	if !op.freeForGrant(gaTick, r.postArbTicks) {
+		return move{}, false
+	}
+	if op.credits == nil || !op.credits.Available(targetCh) {
+		return move{}, false
+	}
+	return move{out: out, row: row, targetCh: targetCh}, true
+}

@@ -1,0 +1,600 @@
+package router
+
+import (
+	"fmt"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/topology"
+	"alpha21364/internal/vc"
+)
+
+// Counters exposes router-level event counts for statistics and tests.
+type Counters struct {
+	Injected    int64 // packets accepted at local input ports
+	Arrived     int64 // packets accepted from network links
+	Nominations int64 // LA-stage nominations issued
+	Grants      int64 // GA-stage grants (dispatches)
+	Collisions  int64 // nominations reset without a grant
+	// WastedSpecReads counts SPAA's speculative buffer reads that were
+	// discarded because the output arbiter picked another packet (§3.3).
+	WastedSpecReads int64
+	DrainEntries    int64 // times the anti-starvation drain engaged
+	DeliveredLocal  int64 // packets consumed by this node's local ports
+}
+
+// nomination is one SPAA in-flight nomination traveling LA -> RE -> GA.
+type nomination struct {
+	pk        *pkState
+	row       int
+	out       ports.Out
+	targetCh  vc.Channel
+	local     bool
+	resolveAt sim.Ticks
+}
+
+// waveCell carries the packet and move behind one wave-matrix cell.
+type waveCell struct {
+	pk       *pkState
+	targetCh vc.Channel
+	local    bool
+}
+
+// Router is one cycle-accurate 21364 router. Drive it by attaching it to a
+// sim.Engine clock domain with the router's clock period.
+type Router struct {
+	cfg   Config
+	node  topology.Node
+	torus topology.Torus
+	rng   *sim.RNG
+
+	inputs  [ports.NumIn]*inputPort
+	outputs [ports.NumOut]*outputPort
+
+	// SPAA pipeline state.
+	policy  core.SelectPolicy
+	noms    []nomination // FIFO ordered by resolveAt
+	dirPref [ports.NumIn]uint8
+	nextLA  sim.Ticks
+
+	// Wave (PIM1/WFA) pipeline state.
+	arb           core.Arbiter
+	matrix        *core.Matrix
+	waveCells     [ports.NumRows][ports.NumOut]waveCell
+	waveActive    bool
+	waveResolveAt sim.Ticks
+	nextWaveAt    sim.Ticks
+
+	// Anti-starvation drain (§3.4).
+	oldCount int
+	draining bool
+
+	// Derived tick quantities.
+	postArbTicks sim.Ticks
+	gaOffset     sim.Ticks // LA -> GA latency in ticks (SPAA nominations)
+	// waveGaOffset is the build -> grant latency for PIM1/WFA waves: the
+	// grant decision lands at the initiation interval (matrix operations),
+	// and any remaining arbitration cycles are pipelined wire delay to the
+	// output ports (paper §3.1-3.2). Waves therefore never overlap.
+	waveGaOffset sim.Ticks
+	ageTicks     sim.Ticks
+
+	Counters Counters
+
+	// scratch
+	gaRows []int
+	gaNet  []bool
+	gaIdx  []int
+	moves  []move
+}
+
+// New builds a router for the given node of the torus.
+func New(cfg Config, node topology.Node, torus topology.Torus) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:          cfg,
+		node:         node,
+		torus:        torus,
+		rng:          sim.NewRNG(cfg.Seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15),
+		postArbTicks: sim.Ticks(cfg.PostArb) * cfg.RouterPeriod,
+		gaOffset:     sim.Ticks(cfg.ArbCycles-1) * cfg.RouterPeriod,
+		ageTicks:     sim.Ticks(cfg.AntiStarvationAge) * cfg.RouterPeriod,
+	}
+	waveGa := cfg.ArbCycles - 1
+	if cfg.InitInterval < waveGa {
+		waveGa = cfg.InitInterval
+	}
+	r.waveGaOffset = sim.Ticks(waveGa) * cfg.RouterPeriod
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		r.inputs[in] = newInputPort(in, cfg)
+	}
+	for out := ports.Out(0); out < ports.NumOut; out++ {
+		r.outputs[out] = &outputPort{id: out}
+	}
+	switch cfg.Kind {
+	case core.KindSPAABase, core.KindSPAARotary:
+		if cfg.GrantPolicyFactory != nil {
+			r.policy = cfg.GrantPolicyFactory(ports.NumRows, int(ports.NumOut))
+		} else {
+			r.policy = core.NewLRSPolicy(ports.NumRows, int(ports.NumOut),
+				cfg.Kind == core.KindSPAARotary)
+		}
+	default:
+		r.arb = core.New(cfg.Kind, r.rng.Split())
+		r.matrix = core.NewRouterMatrix()
+	}
+	return r, nil
+}
+
+// Node returns the router's torus position.
+func (r *Router) Node() topology.Node { return r.node }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// ConnectNetwork wires a torus output port: send is invoked on dispatch,
+// and downstream describes the neighbor input buffer the port holds
+// credits for.
+func (r *Router) ConnectNetwork(out ports.Out, send SendFunc) {
+	if !out.IsNetwork() {
+		panic(fmt.Sprintf("router: %v is not a network port", out))
+	}
+	r.outputs[out].send = send
+	r.outputs[out].credits = vc.NewCredits(r.cfg.Buffers)
+}
+
+// ConnectLocal wires a processor-facing output port to its sink.
+func (r *Router) ConnectLocal(out ports.Out, deliver DeliverFunc) {
+	if out.IsNetwork() {
+		panic(fmt.Sprintf("router: %v is not a local port", out))
+	}
+	r.outputs[out].deliver = deliver
+}
+
+// injectionChannel returns the virtual channel a newly injected packet
+// enters: the adaptive channel of its class, except I/O packets, which
+// live in the deadlock-free channels only.
+func (r *Router) injectionChannel(p *packet.Packet) vc.Channel {
+	if !p.Class.IsIO() {
+		return vc.Of(p.Class, vc.Adaptive)
+	}
+	sub := vc.VC0
+	if d, ok := r.torus.DORDir(r.node, p.Dst); ok && r.torus.WrapsAhead(r.node, p.Dst, d) {
+		sub = vc.VC1
+	}
+	return vc.Of(p.Class, sub)
+}
+
+// Inject offers a packet to a local input port at time now. It returns
+// false when the port's buffer has no space in the packet's channel; the
+// caller (the processor model) must retry later — this backpressure is the
+// throttling path the Rotary Rule exploits.
+func (r *Router) Inject(p *packet.Packet, in ports.In, now sim.Ticks) bool {
+	if in.IsNetwork() {
+		panic(fmt.Sprintf("router: cannot inject on network port %v", in))
+	}
+	ip := r.inputs[in]
+	ch := r.injectionChannel(p)
+	if !ip.feeder.Available(ch) {
+		return false
+	}
+	ip.feeder.Reserve(ch)
+	pk := &pkState{
+		pkt:          p,
+		ch:           ch,
+		in:           in,
+		headerArrive: now,
+		tailArrive:   now + sim.Ticks(p.Flits-1)*r.cfg.RouterPeriod,
+		eligibleAt:   now + sim.Ticks(r.cfg.PreArbLocal)*r.cfg.RouterPeriod,
+		upstream:     ip.feeder,
+		upstreamCh:   ch,
+	}
+	ip.queues[ch] = append(ip.queues[ch], pk)
+	r.Counters.Injected++
+	return true
+}
+
+// InjectionSpace returns the free packet-buffer count a new packet of
+// class cl would see at local input port in (the processor's backpressure
+// signal).
+func (r *Router) InjectionSpace(in ports.In, cl packet.Class, dst topology.Node) int {
+	if in.IsNetwork() {
+		panic(fmt.Sprintf("router: %v is not a local port", in))
+	}
+	p := packet.Packet{Class: cl, Dst: dst}
+	return r.inputs[in].feeder.Free(r.injectionChannel(&p))
+}
+
+// OutputCredits exposes a network output port's downstream credit pool;
+// used by the network wiring and by tests that exercise backpressure.
+func (r *Router) OutputCredits(out ports.Out) *vc.Credits {
+	if !out.IsNetwork() {
+		panic(fmt.Sprintf("router: %v has no credits", out))
+	}
+	return r.outputs[out].credits
+}
+
+// Arrive accepts a packet from an inter-router link. The upstream output
+// port reserved a credit for targetCh before sending, so buffer space is
+// guaranteed; creditHome is that port's credit pool, released when the
+// packet leaves this router.
+func (r *Router) Arrive(p *packet.Packet, in ports.In, targetCh vc.Channel,
+	headerArrive sim.Ticks, creditHome *vc.Credits) {
+	ip := r.inputs[in]
+	if len(ip.queues[targetCh]) >= r.cfg.Buffers.Capacity(targetCh) {
+		panic(fmt.Sprintf("router %d: buffer overflow on %v/%v — credit accounting broken",
+			r.node, in, targetCh))
+	}
+	pk := &pkState{
+		pkt:          p,
+		ch:           targetCh,
+		in:           in,
+		headerArrive: headerArrive,
+		tailArrive:   headerArrive + sim.Ticks(p.Flits-1)*r.cfg.LinkPeriod,
+		eligibleAt:   headerArrive + sim.Ticks(r.cfg.PreArbNetwork)*r.cfg.RouterPeriod,
+		upstream:     creditHome,
+		upstreamCh:   targetCh,
+	}
+	ip.queues[targetCh] = append(ip.queues[targetCh], pk)
+	r.Counters.Arrived++
+}
+
+// Buffered returns the number of packets buffered at the router.
+func (r *Router) Buffered() int {
+	n := 0
+	for _, ip := range r.inputs {
+		n += ip.buffered()
+	}
+	return n
+}
+
+// Draining reports whether the anti-starvation drain is active.
+func (r *Router) Draining() bool { return r.draining }
+
+// Tick advances the router one clock cycle: GA resolution first (grants
+// commit, losers reset), then LA issue (new nominations or a new wave).
+func (r *Router) Tick(now sim.Ticks) {
+	if r.cfg.isWave() {
+		r.tickWave(now)
+	} else {
+		r.tickSPAA(now)
+	}
+}
+
+// ---- SPAA pipeline ----
+
+func (r *Router) tickSPAA(now sim.Ticks) {
+	// GA: resolve nominations due now, grouped by output port.
+	due := 0
+	for due < len(r.noms) && r.noms[due].resolveAt <= now {
+		due++
+	}
+	if due > 0 {
+		r.resolveSPAA(r.noms[:due], now)
+		r.noms = r.noms[:copy(r.noms, r.noms[due:])]
+	}
+
+	// LA: one nomination per input port per initiation interval.
+	if now < r.nextLA {
+		return
+	}
+	r.nextLA = now + sim.Ticks(r.cfg.InitInterval)*r.cfg.RouterPeriod
+	gaTick := now + r.gaOffset
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		pk, mv, ok := r.findNomination(r.inputs[in], now, gaTick)
+		if !ok {
+			continue
+		}
+		pk.nominated = true
+		r.dirPref[in]++
+		r.noms = append(r.noms, nomination{
+			pk: pk, row: mv.row, out: mv.out, targetCh: mv.targetCh,
+			local: mv.local, resolveAt: gaTick,
+		})
+		r.Counters.Nominations++
+	}
+}
+
+// findNomination implements the 21364 input port arbiter: the oldest
+// packet satisfying the basic constraints from the least-recently selected
+// virtual channel (§3).
+func (r *Router) findNomination(ip *inputPort, now, gaTick sim.Ticks) (*pkState, move, bool) {
+	for _, ch := range ip.lru {
+		q := ip.queues[ch]
+		if len(q) == 0 {
+			continue
+		}
+		limit := len(q)
+		if limit > r.cfg.Window {
+			limit = r.cfg.Window
+		}
+		var bestPk *pkState
+		var bestMove move
+		for i := 0; i < limit; i++ {
+			pk := q[i]
+			r.markOld(pk, now)
+			if pk.nominated || pk.eligibleAt > now {
+				continue
+			}
+			if r.draining && !pk.old {
+				continue
+			}
+			if bestPk != nil && !olderThan(pk, bestPk) {
+				continue
+			}
+			r.moves = r.readyMoves(pk, gaTick, r.moves[:0])
+			if len(r.moves) == 0 {
+				continue
+			}
+			bestPk, bestMove = pk, r.moves[0]
+		}
+		if bestPk != nil {
+			return bestPk, bestMove, true
+		}
+	}
+	return nil, move{}, false
+}
+
+func olderThan(a, b *pkState) bool {
+	if a.headerArrive != b.headerArrive {
+		return a.headerArrive < b.headerArrive
+	}
+	return a.pkt.ID < b.pkt.ID
+}
+
+// resolveSPAA is the GA stage: for each output port with due nominations,
+// the grant policy picks a winner among still-valid requests; the rest are
+// reset for re-nomination (SPAA step 3).
+func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
+	for out := ports.Out(0); out < ports.NumOut; out++ {
+		r.gaRows = r.gaRows[:0]
+		r.gaNet = r.gaNet[:0]
+		r.gaIdx = r.gaIdx[:0]
+		op := r.outputs[out]
+		for i := range due {
+			n := &due[i]
+			if n.out != out {
+				continue
+			}
+			valid := op.freeForGrant(now, r.postArbTicks) &&
+				(n.local || (op.credits != nil && op.credits.Available(n.targetCh)))
+			if !valid {
+				r.reset(n.pk)
+				n.pk = nil
+				continue
+			}
+			r.gaRows = append(r.gaRows, n.row)
+			r.gaNet = append(r.gaNet, n.pk.in.IsNetwork())
+			r.gaIdx = append(r.gaIdx, i)
+		}
+		if len(r.gaRows) == 0 {
+			continue
+		}
+		w := r.policy.Select(int(out), r.gaRows, r.gaNet)
+		for k, idx := range r.gaIdx {
+			n := &due[idx]
+			if k == w {
+				r.dispatch(n.pk, n.out, n.targetCh, n.local, now)
+			} else {
+				r.reset(n.pk)
+				r.Counters.WastedSpecReads++
+			}
+			n.pk = nil
+		}
+	}
+	// Any nominations left unprocessed would be a bookkeeping bug.
+	for i := range due {
+		if due[i].pk != nil {
+			panic("router: unresolved nomination")
+		}
+	}
+}
+
+func (r *Router) reset(pk *pkState) {
+	pk.nominated = false
+	r.Counters.Collisions++
+}
+
+// ---- PIM1/WFA wave pipeline ----
+
+func (r *Router) tickWave(now sim.Ticks) {
+	if r.waveActive && now >= r.waveResolveAt {
+		r.resolveWave(now)
+	}
+	if now < r.nextWaveAt || r.waveActive {
+		return
+	}
+	// Waves restart on their fixed cadence whether or not the previous one
+	// found work (the paper: "a new arbitration can be started every three
+	// cycles").
+	r.nextWaveAt = now + sim.Ticks(r.cfg.InitInterval)*r.cfg.RouterPeriod
+	if r.buildWave(now) {
+		r.waveActive = true
+		r.waveResolveAt = now + r.waveGaOffset
+	}
+}
+
+// buildWave loads the connection matrix: for every read-port row and every
+// reachable column, the oldest eligible packet that can move there this
+// wave. Each packet is assigned to a single read port (the pair
+// synchronizes), and all nominated packets are locked until the wave
+// resolves — the bookkeeping cost the paper cites for PIM1/WFA (up to 54
+// in-flight nominations versus SPAA's 16).
+func (r *Router) buildWave(now sim.Ticks) bool {
+	r.matrix.Reset()
+	gaTick := now + r.waveGaOffset
+	any := false
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		ip := r.inputs[in]
+		for ch := vc.Channel(0); ch < vc.NumChannels; ch++ {
+			q := ip.queues[ch]
+			limit := len(q)
+			if limit > r.cfg.Window {
+				limit = r.cfg.Window
+			}
+			for i := 0; i < limit; i++ {
+				pk := q[i]
+				r.markOld(pk, now)
+				if pk.nominated || pk.eligibleAt > now {
+					continue
+				}
+				if r.draining && !pk.old {
+					continue
+				}
+				r.moves = r.readyMoves(pk, gaTick, r.moves[:0])
+				if len(r.moves) == 0 {
+					continue
+				}
+				row := r.assignRow(in, r.moves, pk.pkt.ID)
+				for _, mv := range r.moves {
+					if mv.row != row {
+						continue
+					}
+					cell := r.matrix.At(row, int(mv.out))
+					age := int64(pk.headerArrive)
+					if cell.Valid && !(age < cell.Age || (age == cell.Age && pk.pkt.ID < cell.Key)) {
+						continue
+					}
+					r.matrix.Set(row, int(mv.out), age, pk.pkt.ID, 0)
+					r.waveCells[row][mv.out] = waveCell{pk: pk, targetCh: mv.targetCh, local: mv.local}
+					any = true
+				}
+			}
+		}
+	}
+	if !any {
+		return false
+	}
+	// Lock every packet that made it into a cell.
+	for row := 0; row < ports.NumRows; row++ {
+		for col := 0; col < int(ports.NumOut); col++ {
+			if r.matrix.At(row, col).Valid {
+				r.waveCells[row][col].pk.nominated = true
+				r.Counters.Nominations++
+			}
+		}
+	}
+	return true
+}
+
+// assignRow picks the single read-port row a packet nominates through: the
+// one whose crossbar connections cover more of the packet's ready moves,
+// with ties broken by packet ID.
+func (r *Router) assignRow(in ports.In, moves []move, id uint64) int {
+	row0, row1 := ports.Row(in, 0), ports.Row(in, 1)
+	c0, c1 := 0, 0
+	for _, mv := range moves {
+		switch mv.row {
+		case row0:
+			c0++
+		case row1:
+			c1++
+		}
+	}
+	switch {
+	case c0 == 0:
+		return row1
+	case c1 == 0:
+		return row0
+	case c0 > c1:
+		return row0
+	case c1 > c0:
+		return row1
+	case id%2 == 0:
+		return row0
+	default:
+		return row1
+	}
+}
+
+func (r *Router) resolveWave(now sim.Ticks) {
+	grants := r.arb.Arbitrate(r.matrix)
+	for _, g := range grants {
+		cell := r.waveCells[g.Row][g.Col]
+		op := r.outputs[ports.Out(g.Col)]
+		valid := op.freeForGrant(now, r.postArbTicks) &&
+			(cell.local || (op.credits != nil && op.credits.Available(cell.targetCh)))
+		if !valid || cell.pk == nil || !cell.pk.nominated {
+			continue
+		}
+		r.dispatch(cell.pk, ports.Out(g.Col), cell.targetCh, cell.local, now)
+	}
+	// Unlock every nominated packet that was not dispatched.
+	for row := 0; row < ports.NumRows; row++ {
+		for col := 0; col < int(ports.NumOut); col++ {
+			if !r.matrix.At(row, col).Valid {
+				continue
+			}
+			if pk := r.waveCells[row][col].pk; pk != nil && pk.nominated {
+				r.reset(pk)
+			}
+			r.waveCells[row][col] = waveCell{}
+		}
+	}
+	r.waveActive = false
+}
+
+// ---- common ----
+
+func (r *Router) markOld(pk *pkState, now sim.Ticks) {
+	if !pk.old && now-pk.headerArrive >= r.ageTicks {
+		pk.old = true
+		r.oldCount++
+		if !r.draining && r.oldCount > r.cfg.AntiStarvationThreshold {
+			r.draining = true
+			r.Counters.DrainEntries++
+		}
+	}
+}
+
+// dispatch commits a grant: the packet leaves its input buffer (returning
+// the upstream credit), the output port goes busy for the packet's length,
+// and the packet is handed to the link or the local sink. A grant at tick
+// g puts the header on the pin at g + PostArb cycles.
+func (r *Router) dispatch(pk *pkState, out ports.Out, targetCh vc.Channel, local bool, now sim.Ticks) {
+	// The granted packet leaves the input buffer; losers of this GA round
+	// were already reset. A successful selection is what advances the
+	// input port's least-recently-selected virtual channel order.
+	pk.nominated = false
+	r.inputs[pk.in].touchVC(pk.ch)
+	r.inputs[pk.in].remove(pk)
+	if pk.old {
+		pk.old = false
+		r.oldCount--
+		if r.oldCount == 0 {
+			r.draining = false
+		}
+	}
+	if pk.upstream != nil {
+		pk.upstream.Release(pk.upstreamCh)
+	}
+
+	op := r.outputs[out]
+	headerDepart := now + r.postArbTicks
+	flits := sim.Ticks(pk.pkt.Flits)
+	if local {
+		op.busyUntil = headerDepart + flits*r.cfg.RouterPeriod
+		deliveredAt := headerDepart + (flits-1)*r.cfg.RouterPeriod
+		if pk.tailArrive > deliveredAt {
+			deliveredAt = pk.tailArrive
+		}
+		r.Counters.DeliveredLocal++
+		if op.deliver == nil {
+			panic(fmt.Sprintf("router %d: local port %v not connected", r.node, out))
+		}
+		op.deliver(pk.pkt, deliveredAt)
+	} else {
+		op.credits.Reserve(targetCh)
+		op.busyUntil = headerDepart + flits*r.cfg.LinkPeriod
+		pk.pkt.Hops++
+		if op.send == nil {
+			panic(fmt.Sprintf("router %d: network port %v not connected", r.node, out))
+		}
+		op.send(pk.pkt, targetCh, headerDepart, op.credits)
+	}
+	r.Counters.Grants++
+}

@@ -1,0 +1,123 @@
+package router
+
+import (
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/vc"
+)
+
+// pkState is a router's per-hop bookkeeping for one buffered packet.
+type pkState struct {
+	pkt *packet.Packet
+	ch  vc.Channel // channel occupied at this router
+	in  ports.In
+
+	headerArrive sim.Ticks // header at this router's pin (or injection time)
+	tailArrive   sim.Ticks // last flit fully arrived
+	eligibleAt   sim.Ticks // earliest LA participation (after DW stages)
+
+	nominated bool // locked by an in-flight nomination or wave
+	old       bool // anti-starvation color
+
+	// Credit home: where to return the buffer credit this packet occupies
+	// when it leaves this router. Nil for test-injected packets.
+	upstream   *vc.Credits
+	upstreamCh vc.Channel
+}
+
+// inputPort is one of the eight buffered input ports.
+type inputPort struct {
+	id     ports.In
+	queues [vc.NumChannels][]*pkState
+	// lru is the least-recently-selected ordering over virtual channels:
+	// the front is the channel selected longest ago. The 21364's input
+	// arbiter "selects the oldest packet ... from the least-recently
+	// selected virtual channel" (§3).
+	lru [vc.NumChannels]vc.Channel
+	// feeder holds the injection credits for local ports (the processor's
+	// view of this buffer's free space); nil for network inputs, whose
+	// credits live at the upstream router's output port.
+	feeder *vc.Credits
+}
+
+func newInputPort(id ports.In, cfg Config) *inputPort {
+	p := &inputPort{id: id}
+	for ch := vc.Channel(0); ch < vc.NumChannels; ch++ {
+		p.lru[ch] = ch
+	}
+	if !id.IsNetwork() {
+		p.feeder = vc.NewCredits(cfg.Buffers)
+	}
+	return p
+}
+
+// touchVC moves ch to the most-recently-selected end of the LRU order.
+func (p *inputPort) touchVC(ch vc.Channel) {
+	idx := -1
+	for i, c := range p.lru {
+		if c == ch {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	copy(p.lru[idx:], p.lru[idx+1:])
+	p.lru[len(p.lru)-1] = ch
+}
+
+// remove deletes pk from its queue; it panics if absent (that would mean a
+// double dispatch).
+func (p *inputPort) remove(pk *pkState) {
+	q := p.queues[pk.ch]
+	for i := range q {
+		if q[i] == pk {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			p.queues[pk.ch] = q[:len(q)-1]
+			return
+		}
+	}
+	panic("router: removing packet not in queue")
+}
+
+// buffered returns the number of packets held at the port.
+func (p *inputPort) buffered() int {
+	n := 0
+	for ch := range p.queues {
+		n += len(p.queues[ch])
+	}
+	return n
+}
+
+// SendFunc forwards a dispatched packet across a link: the packet leaves
+// this router on a network output port at headerDepart and must appear at
+// the neighbor with the given channel. creditHome is the credit pool to
+// release when the packet later leaves the neighbor's buffer.
+type SendFunc func(p *packet.Packet, targetCh vc.Channel, headerDepart sim.Ticks, creditHome *vc.Credits)
+
+// DeliverFunc consumes a packet at a local output port; at is the time the
+// last flit reaches the sink.
+type DeliverFunc func(p *packet.Packet, at sim.Ticks)
+
+// outputPort is one of the seven output ports.
+type outputPort struct {
+	id ports.Out
+	// busyUntil is when the port finishes transmitting its current packet;
+	// re-arbitration is possible once all flits are delivered (§2.1).
+	busyUntil sim.Ticks
+	// credits tracks free buffer space at the downstream router's input
+	// port (network ports only).
+	credits *vc.Credits
+	send    SendFunc    // network ports
+	deliver DeliverFunc // local ports
+}
+
+// freeForGrant reports whether the port will have finished its current
+// transmission by the time a grant issued at gaTick puts the first flit on
+// the wire.
+func (o *outputPort) freeForGrant(gaTick sim.Ticks, postArb sim.Ticks) bool {
+	return o.busyUntil <= gaTick+postArb
+}

@@ -1,0 +1,163 @@
+package sim
+
+import "container/heap"
+
+// event is a callback scheduled to run at a particular tick.
+type event struct {
+	at  Ticks
+	seq uint64 // schedule order; breaks ties deterministically
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Clocked is a component driven on every edge of a clock.
+type Clocked interface {
+	Tick(now Ticks)
+}
+
+// clockDomain drives a set of components every period ticks.
+type clockDomain struct {
+	period     Ticks
+	phase      Ticks
+	components []Clocked
+}
+
+func (d *clockDomain) nextEdgeAt(now Ticks) Ticks {
+	if now <= d.phase {
+		return d.phase
+	}
+	k := (now - d.phase + d.period - 1) / d.period
+	return d.phase + k*d.period
+}
+
+// Engine is a deterministic single-threaded simulation engine combining a
+// cycle-driven clock model (for the router pipelines) with an event queue
+// (for link arrivals, memory responses, and other timed callbacks).
+//
+// Dispatch order within one tick: first all events due at the tick (in
+// schedule order, including events scheduled for the same tick by earlier
+// events), then all clock domains whose edge falls on the tick, each firing
+// its components in registration order. An event scheduled for the current
+// tick by a clocked component runs on the following tick; this keeps the
+// cycle semantics strictly causal.
+type Engine struct {
+	now     Ticks
+	seq     uint64
+	events  eventQueue
+	domains []*clockDomain
+	stopped bool
+}
+
+// NewEngine returns an engine with time at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Ticks { return e.now }
+
+// Schedule runs fn at the given absolute tick. Scheduling at or before the
+// current tick runs the callback at the next dispatch opportunity; time
+// never rewinds.
+func (e *Engine) Schedule(at Ticks, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleDelay runs fn after delay ticks.
+func (e *Engine) ScheduleDelay(delay Ticks, fn func()) { e.Schedule(e.now+delay, fn) }
+
+// AddClock registers a clock domain with the given period and phase.
+// Components attached to the domain tick at phase, phase+period, ...
+func (e *Engine) AddClock(period, phase Ticks, components ...Clocked) {
+	if period <= 0 {
+		panic("sim: clock period must be positive")
+	}
+	e.domains = append(e.domains, &clockDomain{period: period, phase: phase, components: components})
+}
+
+// Attach adds components to the most recently added clock domain.
+func (e *Engine) Attach(components ...Clocked) {
+	d := e.domains[len(e.domains)-1]
+	d.components = append(d.components, components...)
+}
+
+// Stop halts Run before the next dispatch.
+func (e *Engine) Stop() { e.stopped = true }
+
+// nextDispatch returns the earliest tick >= e.now with pending work.
+func (e *Engine) nextDispatch() (Ticks, bool) {
+	var best Ticks
+	found := false
+	if len(e.events) > 0 {
+		best = e.events[0].at
+		if best < e.now {
+			best = e.now
+		}
+		found = true
+	}
+	for _, d := range e.domains {
+		if len(d.components) == 0 {
+			continue
+		}
+		t := d.nextEdgeAt(e.now)
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// Run advances simulated time up to and including tick `until`, dispatching
+// events and clock edges in deterministic order.
+func (e *Engine) Run(until Ticks) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.nextDispatch()
+		if !ok || next > until {
+			if e.now < until {
+				e.now = until
+			}
+			return
+		}
+		e.now = next
+		for len(e.events) > 0 && e.events[0].at <= e.now {
+			ev := heap.Pop(&e.events).(*event)
+			ev.fn()
+			if e.stopped {
+				return
+			}
+		}
+		for _, d := range e.domains {
+			if e.now >= d.phase && (e.now-d.phase)%d.period == 0 {
+				for _, c := range d.components {
+					c.Tick(e.now)
+				}
+			}
+		}
+		if e.now == until {
+			return
+		}
+		e.now++
+	}
+}

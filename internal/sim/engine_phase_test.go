@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type tickCounter struct {
+	ticks []Ticks
+}
+
+func (c *tickCounter) Tick(now Ticks) { c.ticks = append(c.ticks, now) }
+
+func TestClockPhaseOffset(t *testing.T) {
+	e := NewEngine()
+	c := &tickCounter{}
+	e.AddClock(10, 3, c) // edges at 3, 13, 23, ...
+	e.Run(35)
+	want := []Ticks{3, 13, 23, 33}
+	if len(c.ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", c.ticks, want)
+	}
+	for i := range want {
+		if c.ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", c.ticks, want)
+		}
+	}
+}
+
+func TestTwoClockDomainRatio(t *testing.T) {
+	// The 21364's 3:2 clock ratio: over any LCM window the router clock
+	// fires exactly 3 edges per 2 link edges.
+	e := NewEngine()
+	router := &tickCounter{}
+	link := &tickCounter{}
+	e.AddClock(RouterPeriod, 0, router)
+	e.AddClock(LinkPeriod, 0, link)
+	e.Run(30*RouterPeriod - 1)
+	if len(router.ticks)*2 != len(link.ticks)*3 {
+		t.Fatalf("clock ratio broken: %d router edges vs %d link edges",
+			len(router.ticks), len(link.ticks))
+	}
+}
+
+func TestAttachAddsToLatestDomain(t *testing.T) {
+	e := NewEngine()
+	a, b := &tickCounter{}, &tickCounter{}
+	e.AddClock(10, 0, a)
+	e.Attach(b)
+	e.Run(20)
+	if len(a.ticks) != len(b.ticks) || len(a.ticks) != 3 {
+		t.Fatalf("attached component ticked %d vs %d", len(b.ticks), len(a.ticks))
+	}
+}
+
+// TestEngineEventEdgeInterleavingProperty: for random event times, every
+// event fires exactly once, in time order, and never after an edge of the
+// same tick.
+func TestEngineEventEdgeInterleavingProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		e := NewEngine()
+		var fired []Ticks
+		for _, r := range raw {
+			at := Ticks(r)
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(300)
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineNoWorkReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	e.Run(1000) // no events, no clocks: must not spin
+	if e.Now() > 1000 {
+		t.Fatalf("time overran: %d", e.Now())
+	}
+}

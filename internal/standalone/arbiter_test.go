@@ -1,0 +1,53 @@
+package standalone
+
+import (
+	"testing"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/sim"
+)
+
+func TestRunArbiterMatchesRunForSameKind(t *testing.T) {
+	cfg := DefaultConfig(0.8)
+	cfg.Cycles = 300
+	viaKind := Run(core.KindWFABase, cfg)
+	viaArbiter := RunArbiter(core.NewWFA(), cfg)
+	if viaKind.MatchesPerCycle != viaArbiter.MatchesPerCycle {
+		t.Fatalf("Run=%v RunArbiter=%v for identical WFA", viaKind.MatchesPerCycle, viaArbiter.MatchesPerCycle)
+	}
+}
+
+func TestISLIPInStandaloneModel(t *testing.T) {
+	// The paper (§3.1): iSLIP's matching capabilities are similar to PIM's.
+	cfg := DefaultConfig(1.0)
+	cfg.Cycles = 600
+	islip := RunArbiter(core.NewISLIP(core.PIMFullIterations), cfg).MatchesPerCycle
+	pim := Run(core.KindPIM, cfg).MatchesPerCycle
+	if ratio := islip / pim; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("iSLIP/PIM standalone ratio = %.3f (iSLIP %.2f, PIM %.2f)", ratio, islip, pim)
+	}
+	// And one iteration of iSLIP behaves like PIM1 territory: clearly below
+	// converged PIM, clearly above SPAA.
+	islip1 := RunArbiter(core.NewISLIP(1), cfg).MatchesPerCycle
+	spaa := Run(core.KindSPAABase, cfg).MatchesPerCycle
+	if !(islip1 < pim && islip1 > spaa) {
+		t.Fatalf("iSLIP(1)=%.2f not between SPAA=%.2f and PIM=%.2f", islip1, spaa, pim)
+	}
+}
+
+func TestPIMIterationConvergence(t *testing.T) {
+	// Matches must be non-decreasing in iteration count (statistically) and
+	// converge by log2 N = 4.
+	cfg := DefaultConfig(1.0)
+	cfg.Cycles = 600
+	get := func(iters int) float64 {
+		return RunArbiter(core.NewPIM(iters, sim.NewRNG(cfg.Seed)), cfg).MatchesPerCycle
+	}
+	p1, p2, p4, p8 := get(1), get(2), get(4), get(8)
+	if !(p2 > p1) {
+		t.Errorf("PIM2 %.2f not above PIM1 %.2f", p2, p1)
+	}
+	if diff := p8 - p4; diff > 0.15 || diff < -0.15 {
+		t.Errorf("PIM converged poorly: PIM4=%.2f PIM8=%.2f", p4, p8)
+	}
+}

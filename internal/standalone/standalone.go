@@ -1,0 +1,285 @@
+// Package standalone implements the paper's first performance model (§4.1):
+// a single 21364 router evaluated for pure matching capability, "just like
+// a cache simulator would allow one to evaluate the cache miss ratio
+// without any timing information". Every algorithm executes in one cycle;
+// what is measured is arbitration matches per cycle.
+//
+// The model reproduces the assumptions behind Figures 8 and 9:
+//
+//   - all arbitration algorithms take one cycle to execute;
+//   - output ports are free (Figure 8) or occupied with probability p
+//     (Figure 9, sweeping p over {0, 0.25, 0.5, 0.75});
+//   - 50% of traffic is local, destined for the memory-controller and I/O
+//     output ports; the rest is destined uniformly for the network ports;
+//   - matches are averaged across 1000 iterations of the algorithm;
+//   - all algorithms obey the 21364's structural constraints (connection
+//     matrix, adaptive routing's at-most-two output choices).
+package standalone
+
+import (
+	"fmt"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+)
+
+// Config parameterizes a standalone run.
+type Config struct {
+	Seed      uint64
+	Cycles    int     // iterations to average over (paper: 1000)
+	Load      float64 // packet arrival probability per input port per cycle
+	Occupancy float64 // probability an output port is busy in a cycle
+	// LocalFraction is the share of traffic destined for the local
+	// (memory-controller and I/O) output ports. Paper: 0.5.
+	LocalFraction float64
+	// DualDirProb is the probability that a network-destined packet has two
+	// candidate output ports (adaptive routing in the minimal rectangle
+	// permits at most two; in a torus, packets with offsets in both
+	// dimensions have two).
+	DualDirProb float64
+	// QueueCap bounds each input port's queue, like the 316-packet input
+	// buffer. Arrivals beyond the cap are dropped (and counted).
+	QueueCap int
+	// Window is how many queued packets per input port the arbiters
+	// consider. The 21364's input port arbiters "can pick packets out of
+	// all the buffers" (§3), so the default window equals the queue
+	// capacity; smaller windows are exposed for picker-depth ablations.
+	Window int
+	// Conn is the crossbar connection matrix.
+	Conn ports.ConnectionMatrix
+}
+
+// DefaultConfig returns the paper's standalone parameters at the given
+// load.
+func DefaultConfig(load float64) Config {
+	return Config{
+		Seed:          1,
+		Cycles:        1000,
+		Load:          load,
+		Occupancy:     0,
+		LocalFraction: 0.5,
+		DualDirProb:   0.5,
+		QueueCap:      316,
+		Window:        316,
+		Conn:          ports.DefaultConnectionMatrix(),
+	}
+}
+
+// Result reports a standalone run.
+type Result struct {
+	Algorithm       string
+	MatchesPerCycle float64
+	OfferedPerCycle float64 // accepted arrivals per cycle
+	DroppedPerCycle float64 // arrivals lost to full queues
+	MeanQueueLen    float64 // time-averaged total queued packets
+}
+
+// spkt is a queued packet in the standalone model.
+type spkt struct {
+	key   uint64
+	age   int64 // arrival cycle
+	dests ports.OutMask
+}
+
+// model is the single-router state.
+type model struct {
+	cfg    Config
+	rng    *sim.RNG
+	queues [ports.NumIn][]spkt
+	matrix *core.Matrix
+	// rowOf remembers which row nominated each key this cycle, for grant
+	// bookkeeping.
+	nextKey uint64
+}
+
+func newModel(cfg Config) *model {
+	m := &model{cfg: cfg, rng: sim.NewRNG(cfg.Seed), matrix: core.NewRouterMatrix(), nextKey: 1}
+	return m
+}
+
+// arrive generates this cycle's arrivals.
+func (m *model) arrive(cycle int64) (offered, dropped int) {
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		if !m.rng.Bernoulli(m.cfg.Load) {
+			continue
+		}
+		offered++
+		if len(m.queues[in]) >= m.cfg.QueueCap {
+			dropped++
+			continue
+		}
+		m.queues[in] = append(m.queues[in], spkt{
+			key:   m.nextKey,
+			age:   cycle,
+			dests: m.destsFor(in),
+		})
+		m.nextKey++
+	}
+	return offered, dropped
+}
+
+// destsFor draws a destination set for a packet arriving on in, following
+// the paper's 50% local / 50% uniformly-network rule and the adaptive
+// routing limit of at most two candidate output ports.
+func (m *model) destsFor(in ports.In) ports.OutMask {
+	legal := m.cfg.Conn.LegalOuts(in)
+	if m.rng.Bernoulli(m.cfg.LocalFraction) {
+		choices := maskList(legal & ports.LocalOuts)
+		return 1 << uint(choices[m.rng.Intn(len(choices))])
+	}
+	choices := maskList(legal & ports.NetworkOuts)
+	first := choices[m.rng.Intn(len(choices))]
+	mask := ports.OutMask(1) << uint(first)
+	if len(choices) > 1 && m.rng.Bernoulli(m.cfg.DualDirProb) {
+		for {
+			second := choices[m.rng.Intn(len(choices))]
+			if second != first {
+				return mask | 1<<uint(second)
+			}
+		}
+	}
+	return mask
+}
+
+func maskList(m ports.OutMask) []ports.Out {
+	out := make([]ports.Out, 0, ports.NumOut)
+	for o := ports.Out(0); o < ports.NumOut; o++ {
+		if m.Has(o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// buildMatrix fills the connection matrix for one arbitration pass. Each
+// packet is assigned to exactly one of its input port's two read ports
+// (the pairs synchronize so they never choose the same packet); within a
+// row, each column's cell holds the oldest packet that can use it.
+func (m *model) buildMatrix(busy ports.OutMask) {
+	mat := m.matrix
+	mat.Reset()
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		q := m.queues[in]
+		limit := len(q)
+		if limit > m.cfg.Window {
+			limit = m.cfg.Window
+		}
+		row0, row1 := ports.Row(in, 0), ports.Row(in, 1)
+		mask0, mask1 := m.cfg.Conn[row0], m.cfg.Conn[row1]
+		for i := 0; i < limit; i++ {
+			p := q[i]
+			avail := p.dests &^ busy
+			if avail == 0 {
+				continue
+			}
+			// Assign the packet to the read port that covers more of its
+			// candidate outputs; break ties by packet key.
+			c0, c1 := (avail & mask0).Count(), (avail & mask1).Count()
+			row, rowMask := row0, mask0
+			switch {
+			case c1 > c0:
+				row, rowMask = row1, mask1
+			case c1 == c0 && c0 == 0:
+				continue
+			case c1 == c0 && p.key%2 == 1:
+				row, rowMask = row1, mask1
+			}
+			for o := ports.Out(0); o < ports.NumOut; o++ {
+				if !(avail & rowMask).Has(o) {
+					continue
+				}
+				cell := mat.At(row, int(o))
+				if !cell.Valid || p.age < cell.Age || (p.age == cell.Age && p.key < cell.Key) {
+					mat.Set(row, int(o), p.age, p.key, int32(in))
+				}
+			}
+		}
+	}
+}
+
+// drain removes granted packets from their queues.
+func (m *model) drain(grants []core.Grant) {
+	for _, g := range grants {
+		in := ports.In(g.Cell.Payload)
+		q := m.queues[in]
+		for i := range q {
+			if q[i].key == g.Cell.Key {
+				m.queues[in] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (m *model) totalQueued() int {
+	n := 0
+	for i := range m.queues {
+		n += len(m.queues[i])
+	}
+	return n
+}
+
+// Run executes the standalone model for one of the paper's algorithms.
+func Run(kind core.Kind, cfg Config) Result {
+	return RunArbiter(core.New(kind, sim.NewRNG(cfg.Seed^0x9747b28c)), cfg)
+}
+
+// RunArbiter executes the standalone model for a caller-constructed
+// arbiter — custom PIM/iSLIP iteration counts, or user algorithms
+// implementing core.Arbiter.
+func RunArbiter(arb core.Arbiter, cfg Config) Result {
+	if cfg.Cycles <= 0 {
+		panic("standalone: Cycles must be positive")
+	}
+	m := newModel(cfg)
+	// Independent streams: arrivals and occupancy must not depend on the
+	// algorithm's internal randomness, so identical seeds present identical
+	// traffic to every algorithm.
+	occRng := sim.NewRNG(cfg.Seed ^ 0x5bd1e995)
+
+	matches, offered, dropped, queued := 0, 0, 0, int64(0)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		o, d := m.arrive(int64(cycle))
+		offered += o
+		dropped += d
+		var busy ports.OutMask
+		for out := ports.Out(0); out < ports.NumOut; out++ {
+			if occRng.Bernoulli(cfg.Occupancy) {
+				busy = busy.With(out)
+			}
+		}
+		m.buildMatrix(busy)
+		grants := arb.Arbitrate(m.matrix)
+		m.drain(grants)
+		matches += len(grants)
+		queued += int64(m.totalQueued())
+	}
+	return Result{
+		Algorithm:       arb.Name(),
+		MatchesPerCycle: float64(matches) / float64(cfg.Cycles),
+		OfferedPerCycle: float64(offered-dropped) / float64(cfg.Cycles),
+		DroppedPerCycle: float64(dropped) / float64(cfg.Cycles),
+		MeanQueueLen:    float64(queued) / float64(cfg.Cycles),
+	}
+}
+
+// MCMSaturationLoad locates the load (arrival probability per input port)
+// at which MCM's match rate saturates: the smallest swept load whose match
+// rate reaches 98% of the match rate at full load. Figure 8's horizontal
+// axis is expressed as a fraction of this load.
+func MCMSaturationLoad(cfg Config) float64 {
+	cfg.Load = 1.0
+	plateau := Run(core.KindMCM, cfg).MatchesPerCycle
+	for load := 0.05; load < 1.0; load += 0.05 {
+		cfg.Load = load
+		if Run(core.KindMCM, cfg).MatchesPerCycle >= 0.98*plateau {
+			return load
+		}
+	}
+	return 1.0
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.3f matches/cycle", r.Algorithm, r.MatchesPerCycle)
+}

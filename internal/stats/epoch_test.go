@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"testing"
+
+	"alpha21364/internal/packet"
+	"alpha21364/internal/sim"
+)
+
+func TestEpochSeriesBuckets(t *testing.T) {
+	e := NewEpochSeries(100)
+	e.Record(0, 3)
+	e.Record(99, 2)
+	e.Record(100, 19)
+	e.Record(350, 1)
+	got := e.Values()
+	want := []int64{5, 19, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEpochSeriesCoV(t *testing.T) {
+	steady := NewEpochSeries(10)
+	for i := sim.Ticks(0); i < 100; i += 10 {
+		steady.Record(i, 5)
+	}
+	if cov := steady.CoefficientOfVariation(0, 10); cov != 0 {
+		t.Errorf("steady CoV = %v, want 0", cov)
+	}
+	bursty := NewEpochSeries(10)
+	for i := sim.Ticks(0); i < 100; i += 20 {
+		bursty.Record(i, 10) // alternating 10, 0
+	}
+	bursty.Record(95, 0)
+	if cov := bursty.CoefficientOfVariation(0, 10); cov < 0.9 {
+		t.Errorf("bursty CoV = %v, want ~1", cov)
+	}
+	// Degenerate windows are defined as zero.
+	if cov := steady.CoefficientOfVariation(5, 6); cov != 0 {
+		t.Errorf("single-epoch CoV = %v", cov)
+	}
+}
+
+func TestCollectorEpochIntegration(t *testing.T) {
+	c := NewCollector(50)
+	series := c.TrackEpochs(100)
+	p := packet.New(1, packet.Request, 0, 1, 0)
+	c.Delivered(p, 10) // inside warmup: excluded from stats, included in series
+	c.Delivered(p, 110)
+	if c.Packets() != 1 {
+		t.Fatalf("measured packets = %d, want 1", c.Packets())
+	}
+	v := series.Values()
+	if len(v) != 2 || v[0] != 3 || v[1] != 3 {
+		t.Fatalf("epoch values = %v, want [3 3]", v)
+	}
+}
+
+func TestEpochSeriesPanicsOnBadEpoch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero epoch should panic")
+		}
+	}()
+	NewEpochSeries(0)
+}

@@ -1,0 +1,304 @@
+// Package stats collects the measurements the paper reports: average packet
+// latency and delivered throughput in flits/router/ns, presented as Burton
+// Normal Form (BNF) points (latency on the vertical axis against delivered
+// throughput on the horizontal axis, §4.3), plus supporting counters used
+// by tests and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"alpha21364/internal/packet"
+	"alpha21364/internal/sim"
+)
+
+// histBuckets is the number of power-of-two latency histogram buckets
+// (bucket i covers [2^i, 2^(i+1)) ticks).
+const histBuckets = 32
+
+// Collector accumulates delivery statistics. Measurements before the
+// warmup boundary are ignored, as the paper discards cold-start transients
+// in its 75,000-cycle runs.
+type Collector struct {
+	warmupEnd sim.Ticks
+
+	injectedPackets int64 // all injections, including warmup
+	measuredStart   sim.Ticks
+
+	packets    int64
+	flits      int64
+	latencySum sim.Ticks
+	latencyMin sim.Ticks
+	latencyMax sim.Ticks
+	hist       [histBuckets]int64
+	hops       int64
+
+	perClassPackets [packet.NumClasses]int64
+
+	epochs *EpochSeries
+}
+
+// TrackEpochs attaches a delivered-flit time series with the given epoch
+// length; it records all deliveries, warmup included, so the oscillation
+// onset is visible.
+func (c *Collector) TrackEpochs(epoch sim.Ticks) *EpochSeries {
+	c.epochs = NewEpochSeries(epoch)
+	return c.epochs
+}
+
+// NewCollector returns a collector that measures deliveries at or after
+// warmupEnd.
+func NewCollector(warmupEnd sim.Ticks) *Collector {
+	return &Collector{warmupEnd: warmupEnd, latencyMin: math.MaxInt64}
+}
+
+// WarmupEnd returns the measurement start boundary.
+func (c *Collector) WarmupEnd() sim.Ticks { return c.warmupEnd }
+
+// Injected counts a packet handed to a source local port.
+func (c *Collector) Injected(p *packet.Packet) { c.injectedPackets++ }
+
+// Delivered records a packet's arrival at its destination local port.
+func (c *Collector) Delivered(p *packet.Packet, at sim.Ticks) {
+	if c.epochs != nil {
+		c.epochs.Record(at, p.Flits)
+	}
+	if at < c.warmupEnd {
+		return
+	}
+	lat := at - p.Created
+	if lat < 0 {
+		panic(fmt.Sprintf("stats: negative latency for %v: created %d, delivered %d", p, p.Created, at))
+	}
+	c.packets++
+	c.flits += int64(p.Flits)
+	c.latencySum += lat
+	if lat < c.latencyMin {
+		c.latencyMin = lat
+	}
+	if lat > c.latencyMax {
+		c.latencyMax = lat
+	}
+	c.hist[bucketOf(lat)]++
+	c.hops += int64(p.Hops)
+	c.perClassPackets[p.Class]++
+}
+
+func bucketOf(lat sim.Ticks) int {
+	b := 0
+	for v := lat; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Packets returns the number of measured deliveries.
+func (c *Collector) Packets() int64 { return c.packets }
+
+// InjectedPackets returns the number of injections (including warmup).
+func (c *Collector) InjectedPackets() int64 { return c.injectedPackets }
+
+// Flits returns the measured delivered flit count.
+func (c *Collector) Flits() int64 { return c.flits }
+
+// ClassPackets returns measured deliveries of one class.
+func (c *Collector) ClassPackets(cl packet.Class) int64 { return c.perClassPackets[cl] }
+
+// MeanHops returns the average router-to-router hop count of measured
+// packets.
+func (c *Collector) MeanHops() float64 {
+	if c.packets == 0 {
+		return 0
+	}
+	return float64(c.hops) / float64(c.packets)
+}
+
+// AvgLatencyNS returns the mean packet latency in nanoseconds.
+func (c *Collector) AvgLatencyNS() float64 {
+	if c.packets == 0 {
+		return 0
+	}
+	return (float64(c.latencySum) / float64(c.packets)) / float64(sim.TicksPerNS)
+}
+
+// MinLatencyNS and MaxLatencyNS return the observed latency extremes.
+func (c *Collector) MinLatencyNS() float64 {
+	if c.packets == 0 {
+		return 0
+	}
+	return c.latencyMin.NS()
+}
+
+// MaxLatencyNS returns the largest observed latency.
+func (c *Collector) MaxLatencyNS() float64 {
+	if c.packets == 0 {
+		return 0
+	}
+	return c.latencyMax.NS()
+}
+
+// PercentileLatencyNS returns an upper bound on the p-quantile latency
+// (p in (0,1]) from the power-of-two histogram.
+func (c *Collector) PercentileLatencyNS(p float64) float64 {
+	if c.packets == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(c.packets)))
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += c.hist[b]
+		if cum >= target {
+			return sim.Ticks(int64(1) << uint(b+1)).NS()
+		}
+	}
+	return c.latencyMax.NS()
+}
+
+// EpochSeries buckets delivered flits into fixed time epochs, exposing the
+// delivered-throughput waveform over time. The paper observes that a
+// saturated 21364 network "produces a cyclic pattern of network link
+// utilization" as backpressure waves throttle and release the injectors
+// (§3.4); this series makes that oscillation measurable.
+type EpochSeries struct {
+	epoch  sim.Ticks
+	counts []int64
+}
+
+// NewEpochSeries returns a series with the given epoch length.
+func NewEpochSeries(epoch sim.Ticks) *EpochSeries {
+	if epoch <= 0 {
+		panic("stats: epoch must be positive")
+	}
+	return &EpochSeries{epoch: epoch}
+}
+
+// Record adds flits delivered at time at.
+func (e *EpochSeries) Record(at sim.Ticks, flits int) {
+	idx := int(at / e.epoch)
+	for len(e.counts) <= idx {
+		e.counts = append(e.counts, 0)
+	}
+	e.counts[idx] += int64(flits)
+}
+
+// Values returns delivered flits per epoch.
+func (e *EpochSeries) Values() []int64 { return e.counts }
+
+// CoefficientOfVariation returns stddev/mean of the per-epoch delivery
+// counts over [from, to) epochs — a unitless measure of how strongly the
+// delivered throughput oscillates (0 = perfectly steady).
+func (e *EpochSeries) CoefficientOfVariation(from, to int) float64 {
+	if to > len(e.counts) {
+		to = len(e.counts)
+	}
+	if from < 0 || to-from < 2 {
+		return 0
+	}
+	n := float64(to - from)
+	var sum float64
+	for _, v := range e.counts[from:to] {
+		sum += float64(v)
+	}
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range e.counts[from:to] {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/n) / mean
+}
+
+// Point is one BNF curve point.
+type Point struct {
+	// OfferedRate is the configured injection rate that produced the point
+	// (new transactions per node per router cycle).
+	OfferedRate float64
+	// Throughput is delivered flits per router per nanosecond.
+	Throughput float64
+	// AvgLatencyNS is the mean packet latency in nanoseconds.
+	AvgLatencyNS float64
+	// Packets is the number of measured packet deliveries.
+	Packets int64
+}
+
+// BNF computes the BNF point over the measurement window [warmupEnd, end]
+// for a network of the given router count.
+func (c *Collector) BNF(routers int, end sim.Ticks) Point {
+	window := end - c.warmupEnd
+	if window <= 0 || routers <= 0 {
+		return Point{}
+	}
+	return Point{
+		Throughput:   float64(c.flits) / float64(routers) / window.NS(),
+		AvgLatencyNS: c.AvgLatencyNS(),
+		Packets:      c.packets,
+	}
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%.4f flits/router/ns @ %.1f ns", p.Throughput, p.AvgLatencyNS)
+}
+
+// Series is a load-sweep BNF curve for one algorithm.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// ThroughputAtLatency interpolates the delivered throughput at a target
+// average latency, the comparison the paper quotes ("at about an average
+// packet latency of X ns, A provides Y% higher throughput than B"). It
+// walks the curve in sweep order and linearly interpolates between the
+// first pair of points straddling the target; returns ok=false if the
+// curve never reaches the target latency.
+func (s Series) ThroughputAtLatency(latencyNS float64) (float64, bool) {
+	best := 0.0
+	found := false
+	for i := 0; i < len(s.Points); i++ {
+		p := s.Points[i]
+		if p.AvgLatencyNS <= latencyNS {
+			// Curve is still below the target latency: it delivers at least
+			// this throughput at the target.
+			if p.Throughput > best {
+				best, found = p.Throughput, true
+			}
+			continue
+		}
+		if i > 0 {
+			prev := s.Points[i-1]
+			if prev.AvgLatencyNS <= latencyNS && p.AvgLatencyNS > prev.AvgLatencyNS {
+				frac := (latencyNS - prev.AvgLatencyNS) / (p.AvgLatencyNS - prev.AvgLatencyNS)
+				tp := prev.Throughput + frac*(p.Throughput-prev.Throughput)
+				if tp > best {
+					best, found = tp, true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// SaturationThroughput returns the maximum delivered throughput on the
+// curve — the knee the Rotary Rule is designed to hold beyond saturation.
+func (s Series) SaturationThroughput() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// FinalThroughput returns the delivered throughput at the highest swept
+// load, showing whether the network collapsed beyond saturation.
+func (s Series) FinalThroughput() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Throughput
+}

@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor := NewTorus(8, 8)
+	for n := Node(0); n < Node(tor.Nodes()); n++ {
+		if got := tor.Node(tor.Coord(n)); got != n {
+			t.Fatalf("round trip %d -> %v -> %d", n, tor.Coord(n), got)
+		}
+	}
+}
+
+func TestNeighborWrap(t *testing.T) {
+	tor := NewTorus(4, 4)
+	cases := []struct {
+		n    Node
+		d    Dir
+		want Node
+	}{
+		{0, North, 12}, // wrap to bottom row
+		{0, West, 3},   // wrap to right column
+		{15, South, 3}, // wrap to top row
+		{15, East, 12}, // wrap to left column
+		{5, East, 6},
+		{5, South, 9},
+	}
+	for _, c := range cases {
+		if got := tor.Neighbor(c.n, c.d); got != c.want {
+			t.Errorf("Neighbor(%d, %v) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestNeighborOppositeInverse(t *testing.T) {
+	tor := NewTorus(8, 4)
+	f := func(n uint8, d uint8) bool {
+		node := Node(int(n) % tor.Nodes())
+		dir := Dir(d % uint8(NumDirs))
+		return tor.Neighbor(tor.Neighbor(node, dir), dir.Opposite()) == node
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSymmetricAndBounded(t *testing.T) {
+	tor := NewTorus(8, 8)
+	f := func(a, b uint8) bool {
+		x := Node(int(a) % tor.Nodes())
+		y := Node(int(b) % tor.Nodes())
+		d := tor.Distance(x, y)
+		if d != tor.Distance(y, x) {
+			return false
+		}
+		return d >= 0 && d <= tor.Width/2+tor.Height/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangle(t *testing.T) {
+	tor := NewTorus(4, 4)
+	f := func(a, b, c uint8) bool {
+		x := Node(int(a) % 16)
+		y := Node(int(b) % 16)
+		z := Node(int(c) % 16)
+		return tor.Distance(x, z) <= tor.Distance(x, y)+tor.Distance(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductiveDirsReduceDistance(t *testing.T) {
+	tor := NewTorus(8, 8)
+	f := func(a, b uint8) bool {
+		src := Node(int(a) % tor.Nodes())
+		dst := Node(int(b) % tor.Nodes())
+		dirs := tor.ProductiveDirs(src, dst)
+		if src == dst {
+			return len(dirs) == 0
+		}
+		if len(dirs) == 0 || len(dirs) > 2 {
+			return false
+		}
+		for _, d := range dirs {
+			next := tor.Neighbor(src, d)
+			if tor.Distance(next, dst) != tor.Distance(src, dst)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductiveDirsCount(t *testing.T) {
+	tor := NewTorus(4, 4)
+	// Same row: one direction. Diagonal: two.
+	if got := tor.ProductiveDirs(0, 1); len(got) != 1 || got[0] != East {
+		t.Errorf("same-row dirs = %v", got)
+	}
+	if got := tor.ProductiveDirs(0, 5); len(got) != 2 {
+		t.Errorf("diagonal dirs = %v, want 2 dirs", got)
+	}
+}
+
+func TestDORFollowsDimensionOrder(t *testing.T) {
+	tor := NewTorus(8, 8)
+	f := func(a, b uint8) bool {
+		src := Node(int(a) % tor.Nodes())
+		dst := Node(int(b) % tor.Nodes())
+		cur := src
+		hops := 0
+		sawY := false
+		for cur != dst {
+			d, ok := tor.DORDir(cur, dst)
+			if !ok {
+				return false
+			}
+			// X must be fully resolved before Y moves begin.
+			if d == East || d == West {
+				if sawY {
+					return false
+				}
+			} else {
+				sawY = true
+			}
+			cur = tor.Neighbor(cur, d)
+			hops++
+			if hops > tor.Width+tor.Height {
+				return false // not minimal / diverged
+			}
+		}
+		return hops == tor.Distance(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDORAtDestination(t *testing.T) {
+	tor := NewTorus(4, 4)
+	if _, ok := tor.DORDir(5, 5); ok {
+		t.Error("DORDir at destination returned a direction")
+	}
+}
+
+// TestWrapsAheadOncePerDimension checks the deadlock-freedom precondition of
+// the two-channel dateline scheme: along any minimal dimension-order path,
+// WrapsAhead transitions from true to false at most once per dimension and
+// never back.
+func TestWrapsAheadOncePerDimension(t *testing.T) {
+	tor := NewTorus(8, 8)
+	f := func(a, b uint8) bool {
+		src := Node(int(a) % tor.Nodes())
+		dst := Node(int(b) % tor.Nodes())
+		cur := src
+		transitions := 0
+		prev := false
+		first := true
+		for cur != dst {
+			d, _ := tor.DORDir(cur, dst)
+			w := tor.WrapsAhead(cur, dst, d)
+			if !first && w && !prev {
+				transitions++ // false -> true would be a re-wrap
+			}
+			prev, first = w, false
+			cur = tor.Neighbor(cur, d)
+		}
+		// A fresh dimension may start with wrap ahead, so allow one
+		// transition when the path turns from X to Y.
+		return transitions <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapsAheadRing(t *testing.T) {
+	tor := NewTorus(8, 8)
+	// From x=6 to x=1 moving east wraps; from x=1 to x=6 moving east does not
+	// (it would go west), so check the canonical cases.
+	n := tor.Node(Coord{6, 0})
+	d := tor.Node(Coord{1, 0})
+	if !tor.WrapsAhead(n, d, East) {
+		t.Error("6->1 east should wrap ahead")
+	}
+	if tor.WrapsAhead(d, n, East) {
+		t.Error("1->6 east should not wrap ahead")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	tor := NewTorus(4, 4) // 16 nodes, 4 bits
+	cases := map[Node]Node{
+		0x0: 0x0,
+		0x1: 0x8, // 0001 -> 1000
+		0x3: 0xC, // 0011 -> 1100
+		0x5: 0xA, // 0101 -> 1010
+		0xF: 0xF,
+	}
+	for n, want := range cases {
+		if got := tor.BitReversal(n); got != want {
+			t.Errorf("BitReversal(%#x) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	tor := NewTorus(8, 8)
+	f := func(a uint8) bool {
+		n := Node(int(a) % tor.Nodes())
+		return tor.BitReversal(tor.BitReversal(n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfectShuffle(t *testing.T) {
+	tor := NewTorus(4, 4)
+	cases := map[Node]Node{
+		0x0: 0x0,
+		0x8: 0x1, // 1000 -> 0001
+		0x5: 0xA, // 0101 -> 1010
+		0xC: 0x9, // 1100 -> 1001
+		0xF: 0xF,
+	}
+	for n, want := range cases {
+		if got := tor.PerfectShuffle(n); got != want {
+			t.Errorf("PerfectShuffle(%#x) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestPerfectShuffleIsPermutation(t *testing.T) {
+	tor := NewTorus(8, 8)
+	seen := make(map[Node]bool)
+	for n := Node(0); n < Node(tor.Nodes()); n++ {
+		d := tor.PerfectShuffle(n)
+		if seen[d] {
+			t.Fatalf("PerfectShuffle maps two nodes to %d", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestBitPatternsRejectNonPowerOfTwo(t *testing.T) {
+	tor := NewTorus(12, 12)
+	if _, ok := tor.BitWidth(); ok {
+		t.Fatal("12x12 should not report power-of-two bit width")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BitReversal on 12x12 should panic")
+		}
+	}()
+	tor.BitReversal(3)
+}
+
+func TestNewTorusPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTorus(1, 4) should panic")
+		}
+	}()
+	NewTorus(1, 4)
+}
