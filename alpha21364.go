@@ -141,13 +141,30 @@ type Point = stats.Point
 // Series is a load-sweep BNF curve.
 type Series = stats.Series
 
+// NoWarmup, assigned to TimingSetup.WarmupFraction, disables the warmup
+// exclusion so statistics cover the entire run (0 keeps the 0.2 default).
+const NoWarmup = experiment.NoWarmup
+
 // RunTiming executes one timing simulation.
 func RunTiming(s TimingSetup) (TimingResult, error) { return experiment.RunTiming(s) }
 
-// SweepBNF sweeps injection rates for one algorithm, producing a BNF curve.
+// SweepBNF sweeps injection rates for one algorithm, producing a BNF
+// curve. The rates are simulated concurrently (one worker per CPU) with
+// byte-identical results to a serial run; use SweepBNFOpts to bound or
+// observe the parallelism.
 func SweepBNF(s TimingSetup, rates []float64) (Series, error) {
 	return experiment.Sweep(s, rates)
 }
+
+// SweepBNFOpts is SweepBNF with explicit runner options: Options.Workers
+// bounds the concurrency (1 = serial) and Options.Progress, when non-nil,
+// observes each finished simulation.
+func SweepBNFOpts(o Options, s TimingSetup, rates []float64) (Series, error) {
+	return experiment.SweepOpts(o, s, rates)
+}
+
+// ProgressFunc observes sweep progress; see Options.Progress.
+type ProgressFunc = experiment.ProgressFunc
 
 // Options tunes the per-figure experiment runners.
 type Options = experiment.Options

@@ -16,7 +16,18 @@ import (
 // benchOpts keeps figure benchmarks short enough for `go test -bench=.`
 // while preserving each figure's qualitative shape. Full-fidelity runs are
 // produced by `go run ./cmd/sweep` (75,000 cycles, full sweeps).
-var benchOpts = experiment.Options{Quick: true, CyclesOverride: 4000, MaxRatePoints: 3, Seed: 1}
+// Workers is pinned to 1 so these benchmarks measure the serial sweep
+// path; the *Parallel variants below measure the worker-pool path.
+var benchOpts = experiment.Options{Quick: true, CyclesOverride: 4000, MaxRatePoints: 3, Seed: 1, Workers: 1}
+
+// benchOptsParallel is benchOpts with the sweep runner fanned across all
+// CPUs (Workers 0 = GOMAXPROCS). Comparing a figure benchmark against its
+// Parallel variant shows the sweep engine's speedup on the machine.
+var benchOptsParallel = func() experiment.Options {
+	o := benchOpts
+	o.Workers = 0
+	return o
+}()
 
 // printOnce emits each figure's table a single time per test binary run,
 // so the benchmark harness reproduces the paper's rows without spamming
@@ -33,7 +44,10 @@ func printOnce(key string, render func() string) {
 // (matches/cycle vs load for MCM, WFA, PIM, PIM1, SPAA).
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiment.Figure8(benchOpts)
+		res, err := experiment.Figure8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printOnce("fig8", func() string { return res.Table().Format() })
 	}
 }
@@ -41,16 +55,25 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 regenerates the output-port occupancy sweep.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiment.Figure9(benchOpts)
+		res, err := experiment.Figure9(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		printOnce("fig9", func() string { return res.Table().Format() })
 	}
 }
 
-// benchPanel runs one timing panel per iteration.
+// benchPanel runs one timing panel per iteration on the serial path.
 func benchPanel(b *testing.B, key string, run func(experiment.Options) (experiment.Panel, error)) {
+	benchPanelOpts(b, benchOpts, key, run)
+}
+
+// benchPanelOpts is benchPanel with explicit options, so the same figure
+// can be benchmarked serially and through the parallel runner.
+func benchPanelOpts(b *testing.B, o experiment.Options, key string, run func(experiment.Options) (experiment.Panel, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		p, err := run(benchOpts)
+		p, err := run(o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,6 +125,45 @@ func BenchmarkFigure11b(b *testing.B) {
 
 func BenchmarkFigure11c(b *testing.B) {
 	benchPanel(b, "fig11c", experiment.Figure11c)
+}
+
+// ---- parallel sweep-runner variants ----
+//
+// These regenerate the same figures through the worker pool (one worker
+// per CPU). The tables they print are byte-identical to the serial
+// benchmarks' tables; only the wall-clock differs.
+
+func BenchmarkFigure8Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure8(benchOptsParallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig8", func() string { return res.Table().Format() })
+	}
+}
+
+func BenchmarkFigure10_8x8RandomParallel(b *testing.B) {
+	benchPanelOpts(b, benchOptsParallel, "fig10b", figure10Panel(1))
+}
+
+func BenchmarkFigure10_SaturationParallel(b *testing.B) {
+	benchPanelOpts(b, benchOptsParallel, "fig10s", experiment.Figure10Saturation)
+}
+
+func BenchmarkFigure11cParallel(b *testing.B) {
+	benchPanelOpts(b, benchOptsParallel, "fig11c", experiment.Figure11c)
+}
+
+// BenchmarkCollectDatasetParallel runs the entire evaluation pipeline —
+// every figure, overlapped — through the runner, the workload behind
+// `sweep -verify`.
+func BenchmarkCollectDatasetParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.CollectDataset(benchOptsParallel); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationPipelineDepth measures the paper's footnote 1: each

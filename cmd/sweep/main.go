@@ -4,6 +4,11 @@
 // Usage:
 //
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
+//	      [-workers N] [-progress]
+//
+// Simulations within a figure are independent, so by default they are
+// fanned across one worker per CPU; results are byte-identical to a
+// serial (-workers 1) run.
 package main
 
 import (
@@ -28,9 +33,17 @@ func main() {
 	plot := flag.Bool("plot", false, "also render ASCII BNF charts for timing panels")
 	verify := flag.Bool("verify", false, "rerun everything and check the paper's claims (ignores -figure)")
 	markdown := flag.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+	progress := flag.Bool("progress", false, "log each completed simulation job to stderr")
 	flag.Parse()
 
-	o := experiment.Options{Quick: *quick, Seed: *seed}
+	o := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *progress {
+		start := time.Now()
+		o.Progress = func(done, total int, label string) {
+			log.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
+		}
+	}
 	if *verify {
 		dataset, err := experiment.CollectDataset(o)
 		if err != nil {
@@ -83,10 +96,18 @@ func main() {
 
 	start := time.Now()
 	if want("8") {
-		emit("8", experiment.Figure8(o).Table())
+		f8, err := experiment.Figure8(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("8", f8.Table())
 	}
 	if want("9") {
-		emit("9", experiment.Figure9(o).Table())
+		f9, err := experiment.Figure9(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("9", f9.Table())
 	}
 	if want("10") {
 		panels, err := experiment.Figure10(o)

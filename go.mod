@@ -1,0 +1,3 @@
+module alpha21364
+
+go 1.24

@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"alpha21364/internal/core"
 	"alpha21364/internal/network"
@@ -29,6 +30,18 @@ type Options struct {
 	// MaxRatePoints, when positive, subsamples each load sweep to at most
 	// this many points, always keeping the lightest and heaviest loads.
 	MaxRatePoints int
+	// Workers bounds how many simulations run concurrently: 0 means one
+	// per available CPU, 1 (or any negative value) runs serially. Results
+	// are byte-identical regardless of the worker count.
+	Workers int
+	// Progress, when non-nil, is called once per finished simulation job;
+	// see ProgressFunc.
+	Progress ProgressFunc
+	// sem and abort, when non-nil, are shared across nested fan-outs:
+	// sem bounds simulations globally and abort propagates fail-fast
+	// between sibling sweeps (see Options.limited in runner.go).
+	sem   chan struct{}
+	abort *atomic.Bool
 }
 
 // TimingCycles returns the per-run router cycle count.
@@ -57,6 +70,11 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
+// NoWarmup is a TimingSetup.WarmupFraction sentinel requesting that no
+// cycles be excluded from statistics. (A literal 0 keeps the 0.2 default
+// so existing callers are unaffected.)
+const NoWarmup = -1.0
+
 // TimingSetup describes one timing-model run.
 type TimingSetup struct {
 	Width, Height  int
@@ -66,7 +84,10 @@ type TimingSetup struct {
 	MaxOutstanding int     // 0 means the 21364 default of 16
 	ScalePipeline  bool    // Figure 11a's 2x-deep, 2x-fast pipeline
 	Cycles         int     // router cycles to simulate
-	WarmupFraction float64 // 0 means 0.2
+	// WarmupFraction is the share of the run excluded from statistics.
+	// 0 means the 0.2 default; a negative value (use NoWarmup) disables
+	// the warmup entirely so statistics cover the whole run.
+	WarmupFraction float64
 	Seed           uint64
 	// EpochCycles, when positive, tracks delivered flits in epochs of that
 	// many router cycles, exposing the cyclic delivered-throughput pattern
@@ -108,8 +129,11 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 		mutate(&rcfg)
 	}
 	warmFrac := s.WarmupFraction
-	if warmFrac == 0 {
+	switch {
+	case warmFrac == 0:
 		warmFrac = 0.2
+	case warmFrac < 0:
+		warmFrac = 0
 	}
 	end := sim.Ticks(s.Cycles) * rcfg.RouterPeriod
 	warmup := sim.Ticks(float64(end) * warmFrac)
@@ -155,17 +179,39 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 }
 
 // Sweep runs a load sweep for one algorithm and returns its BNF curve.
+// The rates are simulated concurrently (one worker per CPU); use SweepOpts
+// to bound or disable the parallelism.
 func Sweep(s TimingSetup, rates []float64) (stats.Series, error) {
+	return SweepOpts(Options{}, s, rates)
+}
+
+// SweepOpts is Sweep with explicit runner options (worker count and
+// progress reporting). Only those two fields of o are consulted; the
+// simulation itself is fully described by s.
+func SweepOpts(o Options, s TimingSetup, rates []float64) (stats.Series, error) {
 	series := stats.Series{Label: s.Kind.String()}
-	for _, r := range rates {
-		s.Rate = r
-		res, err := RunTiming(s)
-		if err != nil {
-			return series, err
+	points, firstBad, err := runJobs(o, sweepJobs("sweep", s, rates))
+	series.Points = append(series.Points, points[:firstBad]...)
+	return series, err
+}
+
+// sweepJobs expands one algorithm's load sweep into runner jobs. Each
+// job's TimingSetup — rate, seed, and all — is fixed here, before any
+// simulation starts, so results cannot depend on execution order.
+func sweepJobs(title string, s TimingSetup, rates []float64) []jobSpec[stats.Point] {
+	jobs := make([]jobSpec[stats.Point], len(rates))
+	for i, r := range rates {
+		setup := s
+		setup.Rate = r
+		jobs[i] = jobSpec[stats.Point]{
+			label: fmt.Sprintf("%s / %v @ %g", title, setup.Kind, r),
+			run: func() (stats.Point, error) {
+				res, err := RunTiming(setup)
+				return res.Point, err
+			},
 		}
-		series.Points = append(series.Points, res.Point)
 	}
-	return series, nil
+	return jobs
 }
 
 // Panel is one BNF chart: several algorithms swept over the same loads.
@@ -175,17 +221,34 @@ type Panel struct {
 	Series []stats.Series
 }
 
-// runPanel sweeps each algorithm over the panel's rates.
-func runPanel(title string, base TimingSetup, kinds []core.Kind, rates []float64) (Panel, error) {
+// runPanel sweeps each algorithm over the panel's rates. The kinds×rates
+// grid is flattened into one job list so the worker pool stays saturated
+// across algorithm boundaries; assembly is by (kind, rate) index, so the
+// panel is identical however the jobs are scheduled.
+func runPanel(title string, o Options, base TimingSetup, kinds []core.Kind, rates []float64) (Panel, error) {
 	p := Panel{Title: title, Rates: rates}
+	if len(rates) == 0 {
+		for _, k := range kinds {
+			p.Series = append(p.Series, stats.Series{Label: k.String()})
+		}
+		return p, nil
+	}
+	var jobs []jobSpec[stats.Point]
 	for _, k := range kinds {
 		s := base
 		s.Kind = k
-		series, err := Sweep(s, rates)
-		if err != nil {
-			return p, fmt.Errorf("%s / %v: %w", title, k, err)
-		}
-		p.Series = append(p.Series, series)
+		jobs = append(jobs, sweepJobs(title, s, rates)...)
+	}
+	points, firstBad, err := runJobs(o, jobs)
+	completeKinds := firstBad / len(rates)
+	for ki := 0; ki < completeKinds; ki++ {
+		p.Series = append(p.Series, stats.Series{
+			Label:  kinds[ki].String(),
+			Points: points[ki*len(rates) : (ki+1)*len(rates)],
+		})
+	}
+	if err != nil {
+		return p, fmt.Errorf("%s / %v: %w", title, kinds[completeKinds], err)
 	}
 	return p, nil
 }
@@ -250,7 +313,7 @@ func Figure10(o Options) ([]Panel, error) {
 			Width: d.w, Height: d.h, Pattern: d.pattern,
 			Cycles: o.TimingCycles(), Seed: o.seed(),
 		}
-		p, err := runPanel(d.title, base, Figure10Kinds, o.rates(d.rates))
+		p, err := runPanel(d.title, o, base, Figure10Kinds, o.rates(d.rates))
 		if err != nil {
 			return panels, err
 		}
@@ -276,7 +339,7 @@ func Figure10Saturation(o Options) (Panel, error) {
 		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
 	}
 	return runPanel("8x8, Random Traffic, 64 outstanding (saturation companion)",
-		base, Figure10Kinds, o.rates(Rates8x8))
+		o, base, Figure10Kinds, o.rates(Rates8x8))
 }
 
 // Figure11a reproduces the 2x-pipeline scaling study (8x8 random).
@@ -285,7 +348,7 @@ func Figure11a(o Options) (Panel, error) {
 		Width: 8, Height: 8, Pattern: traffic.Uniform,
 		ScalePipeline: true, Cycles: o.TimingCycles() * 2, Seed: o.seed(),
 	}
-	return runPanel("2x Pipeline, 8x8, Random Traffic", base, Figure11Kinds, o.rates(Rates8x8))
+	return runPanel("2x Pipeline, 8x8, Random Traffic", o, base, Figure11Kinds, o.rates(Rates8x8))
 }
 
 // Figure11b reproduces the 64-outstanding-miss study (8x8 random).
@@ -294,7 +357,7 @@ func Figure11b(o Options) (Panel, error) {
 		Width: 8, Height: 8, Pattern: traffic.Uniform,
 		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
 	}
-	return runPanel("64 requests, 8x8, Random Traffic", base, Figure11Kinds, o.rates(Rates8x8))
+	return runPanel("64 requests, 8x8, Random Traffic", o, base, Figure11Kinds, o.rates(Rates8x8))
 }
 
 // Figure11c reproduces the 12x12 (144-processor) scaling study.
@@ -303,7 +366,7 @@ func Figure11c(o Options) (Panel, error) {
 		Width: 12, Height: 12, Pattern: traffic.Uniform,
 		Cycles: o.TimingCycles(), Seed: o.seed(),
 	}
-	return runPanel("12x12, Random Traffic", base, Figure11Kinds, o.rates(Rates12x12))
+	return runPanel("12x12, Random Traffic", o, base, Figure11Kinds, o.rates(Rates12x12))
 }
 
 // StandaloneCurve is one algorithm's standalone match-rate curve.
@@ -325,23 +388,53 @@ var Figure8Kinds = []core.Kind{
 	core.KindMCM, core.KindWFABase, core.KindPIM, core.KindPIM1, core.KindSPAABase,
 }
 
-// Figure8 reproduces the standalone matching-capability sweep.
-func Figure8(o Options) Figure8Result {
+// Figure8 reproduces the standalone matching-capability sweep. The only
+// possible error is a sweep aborted by a concurrent failure elsewhere in
+// a shared fan-out (CollectDataset).
+func Figure8(o Options) (Figure8Result, error) {
 	cfg := standalone.DefaultConfig(0)
 	cfg.Cycles = o.StandaloneCycles()
 	cfg.Seed = o.seed()
 	sat := standalone.MCMSaturationLoad(cfg)
 	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	res := Figure8Result{LoadFractions: fractions, SaturationLoad: sat}
+	var err error
+	res.Curves, err = standaloneGrid(o, "figure 8", fractions, func(k core.Kind, f float64) float64 {
+		c := cfg
+		c.Load = f * sat
+		return standalone.Run(k, c).MatchesPerCycle
+	})
+	return res, err
+}
+
+// standaloneGrid runs a Figure8Kinds × axis grid of standalone simulations
+// through the runner and assembles one curve per algorithm. run must be a
+// pure function of its arguments (every call builds its own Config copy).
+// The jobs themselves are infallible, so the returned error can only be
+// an abort from a sibling sweep — in which case the curves are incomplete
+// and must be discarded.
+func standaloneGrid(o Options, title string, axis []float64, run func(core.Kind, float64) float64) ([]StandaloneCurve, error) {
+	var jobs []jobSpec[float64]
 	for _, k := range Figure8Kinds {
-		curve := StandaloneCurve{Label: k.String()}
-		for _, f := range fractions {
-			cfg.Load = f * sat
-			curve.Values = append(curve.Values, standalone.Run(k, cfg).MatchesPerCycle)
+		for _, x := range axis {
+			jobs = append(jobs, jobSpec[float64]{
+				label: fmt.Sprintf("%s / %v @ %g", title, k, x),
+				run:   func() (float64, error) { return run(k, x), nil },
+			})
 		}
-		res.Curves = append(res.Curves, curve)
 	}
-	return res
+	values, _, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	curves := make([]StandaloneCurve, len(Figure8Kinds))
+	for ki, k := range Figure8Kinds {
+		curves[ki] = StandaloneCurve{
+			Label:  k.String(),
+			Values: values[ki*len(axis) : (ki+1)*len(axis)],
+		}
+	}
+	return curves, nil
 }
 
 // Figure9Result holds the occupancy sweep at the MCM saturation load.
@@ -350,22 +443,20 @@ type Figure9Result struct {
 	Curves      []StandaloneCurve
 }
 
-// Figure9 reproduces the output-port occupancy sweep.
-func Figure9(o Options) Figure9Result {
+// Figure9 reproduces the output-port occupancy sweep. As with Figure8,
+// the only possible error is a sweep aborted by a shared fan-out.
+func Figure9(o Options) (Figure9Result, error) {
 	cfg := standalone.DefaultConfig(0)
 	cfg.Cycles = o.StandaloneCycles()
 	cfg.Seed = o.seed()
 	cfg.Load = standalone.MCMSaturationLoad(cfg)
 	occupancies := []float64{0, 0.25, 0.5, 0.75}
 	res := Figure9Result{Occupancies: occupancies}
-	for _, k := range Figure8Kinds {
-		curve := StandaloneCurve{Label: k.String()}
-		for _, occ := range occupancies {
-			c := cfg
-			c.Occupancy = occ
-			curve.Values = append(curve.Values, standalone.Run(k, c).MatchesPerCycle)
-		}
-		res.Curves = append(res.Curves, curve)
-	}
-	return res
+	var err error
+	res.Curves, err = standaloneGrid(o, "figure 9", occupancies, func(k core.Kind, occ float64) float64 {
+		c := cfg
+		c.Occupancy = occ
+		return standalone.Run(k, c).MatchesPerCycle
+	})
+	return res, err
 }

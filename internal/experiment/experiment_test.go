@@ -110,7 +110,10 @@ func TestSweepProducesMonotoneOfferedRates(t *testing.T) {
 
 func TestFigure8And9Tables(t *testing.T) {
 	o := Options{Quick: true, Seed: 1}
-	f8 := Figure8(o)
+	f8, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f8.Curves) != len(Figure8Kinds) {
 		t.Fatalf("figure 8 curves = %d", len(f8.Curves))
 	}
@@ -122,7 +125,10 @@ func TestFigure8And9Tables(t *testing.T) {
 		t.Errorf("figure 8 rows = %d", len(table.Rows))
 	}
 
-	f9 := Figure9(o)
+	f9, err := Figure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f9.Occupancies) != 4 {
 		t.Fatalf("figure 9 occupancies = %v", f9.Occupancies)
 	}
@@ -196,6 +202,35 @@ func TestTableFormatting(t *testing.T) {
 	csv := tb.CSV()
 	if !strings.HasPrefix(csv, "a,long-column\n1,2\n") {
 		t.Errorf("csv output wrong:\n%s", csv)
+	}
+}
+
+// TestWarmupFractionSentinel pins the WarmupFraction contract: a literal
+// zero keeps the historical 0.2 default, an explicit 0.2 matches it
+// exactly, and the NoWarmup sentinel genuinely disables the warmup (a
+// request the old zero-means-default encoding could not express).
+func TestWarmupFractionSentinel(t *testing.T) {
+	base := TimingSetup{
+		Width: 4, Height: 4, Kind: core.KindSPAABase, Pattern: traffic.Uniform,
+		Rate: 0.03, Cycles: 4000, Seed: 1,
+	}
+	run := func(frac float64) TimingResult {
+		s := base
+		s.WarmupFraction = frac
+		res, err := RunTiming(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	def, explicit, none := run(0), run(0.2), run(NoWarmup)
+	if def.Point != explicit.Point {
+		t.Errorf("WarmupFraction 0 no longer matches explicit 0.2:\n%+v\n%+v", def.Point, explicit.Point)
+	}
+	// With no warmup the collector sees every delivered packet, including
+	// the ones the 20% warmup window would have discarded.
+	if none.Packets <= def.Packets {
+		t.Errorf("NoWarmup counted %d packets, default-warmup run counted %d", none.Packets, def.Packets)
 	}
 }
 
