@@ -13,6 +13,11 @@
 //   - the cycle-accurate timing model of the 21364 router and its 2D-torus
 //     network with the paper's synthetic coherence workloads (RunTiming,
 //     SweepBNF);
+//   - a pluggable workload suite decomposing traffic into spatial
+//     patterns × arrival processes × transaction models, with trace
+//     record/replay for reproducible cross-algorithm comparisons
+//     (WorkloadPattern, WorkloadProcess, WorkloadModel, Trace,
+//     ScenarioMatrix);
 //   - per-figure experiment runners (Figure8 ... Figure11c) used by the
 //     cmd/sweep tool and the repository's benchmarks.
 //
@@ -26,7 +31,9 @@ import (
 	"alpha21364/internal/sim"
 	"alpha21364/internal/standalone"
 	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
 	"alpha21364/internal/traffic"
+	"alpha21364/internal/workload"
 )
 
 // Arbitration algorithm kinds (see core.Kind).
@@ -71,18 +78,82 @@ func NewRouterMatrix() *Matrix { return core.NewRouterMatrix() }
 // ParseKind resolves an algorithm name such as "SPAA-rotary".
 func ParseKind(name string) (Kind, error) { return core.ParseKind(name) }
 
-// Traffic patterns of the paper's synthetic workloads.
+// Traffic patterns of the synthetic workloads.
 type Pattern = traffic.Pattern
 
-// Destination patterns (§4.2).
+// Destination patterns: the paper's three (§4.2) plus the standard
+// transpose, tornado, nearest-neighbor, and hotspot suites.
 const (
 	Uniform        = traffic.Uniform
 	BitReversal    = traffic.BitReversal
 	PerfectShuffle = traffic.PerfectShuffle
+	Transpose      = traffic.Transpose
+	Tornado        = traffic.Tornado
+	Neighbor       = traffic.Neighbor
+	Hotspot        = traffic.Hotspot
 )
 
-// ParsePattern resolves a pattern name such as "bit-reversal".
+// ParsePattern resolves a pattern name such as "bit-reversal"
+// (case-insensitive).
 func ParsePattern(name string) (Pattern, error) { return traffic.ParsePattern(name) }
+
+// PatternNames lists every destination-pattern name.
+func PatternNames() []string { return traffic.PatternNames() }
+
+// Torus is the 2D-torus topology (node ids, coordinates, permutations).
+type Torus = topology.Torus
+
+// Node identifies a processor/router in the torus.
+type Node = topology.Node
+
+// NewTorus returns a W x H torus.
+func NewTorus(w, h int) Torus { return topology.NewTorus(w, h) }
+
+// WorkloadPattern draws request destinations — the spatial axis of a
+// workload. Build one with NewWorkloadPattern or the workload suite's
+// constructors re-exported below.
+type WorkloadPattern = workload.Pattern
+
+// WorkloadProcess is the temporal arrival law of a workload.
+type WorkloadProcess = workload.Process
+
+// WorkloadModel defines what a transaction is.
+type WorkloadModel = workload.Model
+
+// NewWorkloadPattern resolves a destination pattern by name on a torus.
+func NewWorkloadPattern(name string, t Torus) (WorkloadPattern, error) {
+	return workload.NewPattern(name, t)
+}
+
+// NewWorkloadProcess resolves an arrival process ("bernoulli", "onoff",
+// "deterministic") at a mean per-node per-cycle rate.
+func NewWorkloadProcess(name string, rate float64) (WorkloadProcess, error) {
+	return workload.NewProcess(name, rate)
+}
+
+// NewHotspotPattern builds a weighted hotspot pattern: fraction of all
+// requests go to the targets (drawn by weight; nil weights = equal), the
+// rest are uniform.
+func NewHotspotPattern(t Torus, targets []Node, weights []float64, fraction float64) (WorkloadPattern, error) {
+	return workload.NewHotspot(t, targets, weights, fraction)
+}
+
+// ProcessNames lists every arrival-process name.
+func ProcessNames() []string { return workload.ProcessNames() }
+
+// ModelNames lists every transaction-model name.
+func ModelNames() []string { return workload.ModelNames() }
+
+// Trace is a recorded injection stream: replaying it re-injects the
+// identical packet sequence under any arbiter (TimingSetup.RecordTo /
+// TimingSetup.ReplayFrom).
+type Trace = workload.Trace
+
+// TraceEvent is one packet creation in a Trace.
+type TraceEvent = workload.Event
+
+// ReadTraceFile loads a recorded trace.
+func ReadTraceFile(path string) (*Trace, error) { return workload.ReadTraceFile(path) }
 
 // StandaloneConfig parameterizes the single-router matching model.
 type StandaloneConfig = standalone.Config
@@ -174,6 +245,20 @@ type Panel = experiment.Panel
 
 // Table is a formatted result grid.
 type Table = experiment.Table
+
+// Scenario names one cell of a scenario matrix.
+type Scenario = experiment.Scenario
+
+// ScenarioResult pairs a scenario with its timing result.
+type ScenarioResult = experiment.ScenarioResult
+
+// ScenarioMatrix sweeps algorithms × patterns × processes × rates on the
+// base setup through the parallel runner; results are byte-identical to
+// a serial run.
+func ScenarioMatrix(o Options, base TimingSetup, kinds []Kind,
+	patterns []Pattern, processes []string, rates []float64) ([]ScenarioResult, error) {
+	return experiment.ScenarioMatrix(o, base, kinds, patterns, processes, rates)
+}
 
 // Figure runners reproduce the paper's evaluation; see cmd/sweep.
 var (

@@ -1,14 +1,21 @@
-// Command sweep regenerates the paper's figures. It prints each table to
-// stdout and, with -out, also writes CSV files.
+// Command sweep regenerates the paper's figures, runs scenario matrices
+// over the pluggable workload suite, and records/replays injection
+// traces. It prints each table to stdout and, with -out, also writes CSV
+// files.
 //
 // Usage:
 //
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
 //	      [-workers N] [-progress]
+//	sweep -matrix [-algos A,B] [-patterns P,Q] [-processes X,Y] [-rates R1,R2]
+//	      [-model M] [-size WxH] [-cycles N]
+//	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
+//	      [-record FILE | -replay FILE]
+//	sweep -list
 //
-// Simulations within a figure are independent, so by default they are
-// fanned across one worker per CPU; results are byte-identical to a
-// serial (-workers 1) run.
+// Simulations within a figure or matrix are independent, so by default
+// they are fanned across one worker per CPU; results are byte-identical
+// to a serial (-workers 1) run.
 package main
 
 import (
@@ -17,10 +24,14 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
+	"alpha21364/internal/traffic"
+	"alpha21364/internal/workload"
 )
 
 func main() {
@@ -35,6 +46,23 @@ func main() {
 	markdown := flag.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	progress := flag.Bool("progress", false, "log each completed simulation job to stderr")
+
+	list := flag.Bool("list", false, "list algorithms, patterns, processes, models, and figures, then exit")
+	matrix := flag.Bool("matrix", false, "run a scenario matrix (algorithms x patterns x processes x rates)")
+	runOne := flag.Bool("run", false, "run a single scenario (implied by -record/-replay)")
+	algos := flag.String("algos", "SPAA-rotary,PIM1,WFA-rotary", "comma-separated algorithms for -matrix")
+	patterns := flag.String("patterns", strings.Join(traffic.PatternNames(), ","), "comma-separated destination patterns for -matrix")
+	processes := flag.String("processes", strings.Join(workload.ProcessNames(), ","), "comma-separated arrival processes for -matrix")
+	rates := flag.String("rates", "0.01,0.03", "comma-separated injection rates for -matrix")
+	size := flag.String("size", "8x8", "torus size WxH for -matrix and -run")
+	cycles := flag.Int("cycles", 0, "router cycles per simulation (0 = figure default)")
+	algo := flag.String("algo", "SPAA-rotary", "algorithm for -run")
+	pattern := flag.String("pattern", "random", "destination pattern for -run")
+	process := flag.String("process", "bernoulli", "arrival process for -run")
+	model := flag.String("model", "coherence", "transaction model for -run and -matrix")
+	rate := flag.Float64("rate", 0.03, "injection rate for -run")
+	record := flag.String("record", "", "with -run, record the injection stream to this trace file")
+	replay := flag.String("replay", "", "with -run, replay a recorded trace instead of generating traffic")
 	flag.Parse()
 
 	o := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
@@ -43,6 +71,20 @@ func main() {
 		o.Progress = func(done, total int, label string) {
 			log.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
 		}
+	}
+	switch {
+	case *list:
+		printLists()
+		return
+	case *matrix:
+		if *record != "" || *replay != "" {
+			log.Fatal("-record/-replay apply to single runs; use -run")
+		}
+		runMatrix(o, *algos, *patterns, *processes, *rates, *model, *size, *cycles, *out)
+		return
+	case *runOne || *record != "" || *replay != "":
+		runScenario(o, *algo, *pattern, *process, *model, *rate, *size, *cycles, *record, *replay)
+		return
 	}
 	if *verify {
 		dataset, err := experiment.CollectDataset(o)
@@ -70,17 +112,7 @@ func main() {
 	emit := func(name string, tb experiment.Table) {
 		emitted = true
 		fmt.Println(tb.Format())
-		if *out == "" {
-			return
-		}
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		path := filepath.Join(*out, "figure"+name+".csv")
-		if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote %s", path)
+		writeCSV(*out, "figure"+name, tb)
 	}
 	emitPanel := func(name string, p experiment.Panel) {
 		if *plot {
@@ -145,6 +177,152 @@ func main() {
 	}
 	if !emitted {
 		log.Fatalf("unknown figure %q (want all, 8, 9, 10, 10s, 11a, 11b, 11c)", *figure)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Second))
+}
+
+// figureNames lists the -figure values printed by -list.
+var figureNames = []string{"8", "9", "10", "10s", "11a", "11b", "11c"}
+
+func printLists() {
+	fmt.Println("algorithms:", strings.Join(core.KindNames(), ", "))
+	fmt.Println("patterns:  ", strings.Join(traffic.PatternNames(), ", "))
+	fmt.Println("processes: ", strings.Join(workload.ProcessNames(), ", "))
+	fmt.Println("models:    ", strings.Join(workload.ModelNames(), ", "))
+	fmt.Println("figures:   ", strings.Join(figureNames, ", "))
+}
+
+func writeCSV(dir, name string, tb experiment.Table) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// parseSize parses "WxH" into torus dimensions.
+func parseSize(s string) (int, int) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) == 2 {
+		w, errW := strconv.Atoi(strings.TrimSpace(parts[0]))
+		h, errH := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if errW == nil && errH == nil && w >= 2 && h >= 2 {
+			return w, h
+		}
+	}
+	log.Fatalf("invalid -size %q (want WxH, e.g. 8x8)", s)
+	return 0, 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func baseSetup(o experiment.Options, size string, cycles int, seed uint64) experiment.TimingSetup {
+	w, h := parseSize(size)
+	if cycles <= 0 {
+		cycles = o.TimingCycles()
+	}
+	return experiment.TimingSetup{Width: w, Height: h, Cycles: cycles, Seed: seed}
+}
+
+func runMatrix(o experiment.Options, algos, patterns, processes, rates, model, size string, cycles int, out string) {
+	var kinds []core.Kind
+	for _, name := range splitList(algos) {
+		k, err := core.ParseKind(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+	var pats []traffic.Pattern
+	for _, name := range splitList(patterns) {
+		p, err := traffic.ParsePattern(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pats = append(pats, p)
+	}
+	procs := splitList(processes)
+	for _, name := range procs {
+		if _, err := workload.NewProcess(name, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var rs []float64
+	for _, f := range splitList(rates) {
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			log.Fatalf("invalid rate %q", f)
+		}
+		rs = append(rs, r)
+	}
+	if len(kinds) == 0 || len(pats) == 0 || len(procs) == 0 || len(rs) == 0 {
+		log.Fatal("matrix needs at least one algorithm, pattern, process, and rate")
+	}
+	if _, err := workload.NewModel(model); err != nil {
+		log.Fatal(err)
+	}
+	base := baseSetup(o, size, cycles, o.Seed)
+	base.Model = model
+	start := time.Now()
+	results, err := experiment.ScenarioMatrix(o, base, kinds, pats, procs, rs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := experiment.ScenarioTable(results)
+	fmt.Println(tb.Format())
+	writeCSV(out, "scenario-matrix", tb)
+	log.Printf("%d scenarios in %v", len(results), time.Since(start).Round(time.Second))
+}
+
+func runScenario(o experiment.Options, algo, pattern, process, model string, rate float64, size string, cycles int, record, replay string) {
+	if record != "" && replay != "" {
+		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	k, err := core.ParseKind(algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := baseSetup(o, size, cycles, o.Seed)
+	setup.Kind = k
+	setup.Rate = rate
+	setup.Process = process
+	setup.Model = model
+	setup.RecordTo = record
+	setup.ReplayFrom = replay
+	if replay == "" {
+		p, err := traffic.ParsePattern(pattern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		setup.Pattern = p
+	}
+	start := time.Now()
+	res, err := experiment.RunTiming(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	what := fmt.Sprintf("%v/%v/%s/%s @ %g", k, setup.Pattern, process, model, rate)
+	if replay != "" {
+		what = fmt.Sprintf("%v replaying %s", k, replay)
+	}
+	fmt.Printf("%s on %s: %.4f flits/router/ns @ %.1f ns avg (p99 %.1f ns), %d packets, %d txns\n",
+		what, size, res.Throughput, res.AvgLatencyNS, res.AvgLatencyP99, res.Packets, res.Completed)
+	if record != "" {
+		log.Printf("recorded trace to %s", record)
 	}
 	log.Printf("done in %v", time.Since(start).Round(time.Second))
 }

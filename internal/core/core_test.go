@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -480,6 +481,29 @@ func TestParseKindRoundTrip(t *testing.T) {
 	}
 	if k, err := ParseKind("WFA"); err != nil || k != KindWFABase {
 		t.Errorf("ParseKind(WFA) = %v, %v", k, err)
+	}
+}
+
+func TestParseKindCaseInsensitive(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"mcm": KindMCM, "spaa-ROTARY": KindSPAARotary, "wfa": KindWFABase,
+		"Pim1": KindPIM1, " OPF ": KindOPF, "spaa": KindSPAABase,
+	} {
+		if k, err := ParseKind(name); err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, k, err, want)
+		}
+	}
+}
+
+func TestParseKindErrorListsNames(t *testing.T) {
+	_, err := ParseKind("nonsense")
+	if err == nil {
+		t.Fatal("ParseKind accepted nonsense")
+	}
+	for _, name := range KindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
 	}
 }
 

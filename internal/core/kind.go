@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"alpha21364/internal/sim"
 )
@@ -33,21 +34,28 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// ParseKind resolves an algorithm name (as printed by String, case
-// sensitive; "WFA" and "SPAA" resolve to the base variants).
+// KindNames returns every algorithm name in declaration order.
+func KindNames() []string {
+	return append([]string(nil), kindNames[:]...)
+}
+
+// ParseKind resolves an algorithm name (as printed by String), case-
+// insensitively; "WFA" and "SPAA" resolve to the base variants.
 func ParseKind(name string) (Kind, error) {
-	switch name {
-	case "WFA":
+	key := strings.TrimSpace(name)
+	switch {
+	case strings.EqualFold(key, "WFA"):
 		return KindWFABase, nil
-	case "SPAA":
+	case strings.EqualFold(key, "SPAA"):
 		return KindSPAABase, nil
 	}
 	for k := Kind(0); k < NumKinds; k++ {
-		if kindNames[k] == name {
+		if strings.EqualFold(kindNames[k], key) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown arbitration algorithm %q", name)
+	return 0, fmt.Errorf("core: unknown arbitration algorithm %q (valid: %s)",
+		name, strings.Join(kindNames[:], ", "))
 }
 
 // Rotary reports whether the kind applies the Rotary Rule.

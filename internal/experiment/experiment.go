@@ -15,7 +15,9 @@ import (
 	"alpha21364/internal/sim"
 	"alpha21364/internal/standalone"
 	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
 	"alpha21364/internal/traffic"
+	"alpha21364/internal/workload"
 )
 
 // Options tunes how faithfully the experiments are rerun. Quick mode
@@ -84,6 +86,19 @@ type TimingSetup struct {
 	MaxOutstanding int     // 0 means the 21364 default of 16
 	ScalePipeline  bool    // Figure 11a's 2x-deep, 2x-fast pipeline
 	Cycles         int     // router cycles to simulate
+	// Process names the arrival process ("" or "bernoulli" is the paper's
+	// Bernoulli law; "onoff" is bursty, "deterministic" is fixed-rate; see
+	// workload.ProcessNames).
+	Process string
+	// Model names the transaction model ("" or "coherence" is the paper's
+	// 2-hop/3-hop mix; "datagram" is the open-loop single-packet model).
+	Model string
+	// RecordTo, when non-empty, captures the run's injection stream to a
+	// trace file at that path.
+	RecordTo string
+	// ReplayFrom, when non-empty, replays a recorded trace instead of
+	// generating traffic; Pattern, Rate, Process, and Model are ignored.
+	ReplayFrom string
 	// WarmupFraction is the share of the run excluded from statistics.
 	// 0 means the 0.2 default; a negative value (use NoWarmup) disables
 	// the warmup entirely so statistics cover the whole run.
@@ -93,6 +108,56 @@ type TimingSetup struct {
 	// many router cycles, exposing the cyclic delivered-throughput pattern
 	// the paper describes for saturated networks (§3.4).
 	EpochCycles int
+}
+
+// workloadConfig expands the setup into the workload decomposition:
+// either a replay of a recorded trace, or the configured pattern ×
+// process × model combination (defaulting to the paper's uniform ×
+// Bernoulli × coherence). period is the router clock the run will use,
+// stamped into recorded traces and checked against replayed ones.
+func (s TimingSetup) workloadConfig(t topology.Torus, period sim.Ticks) (workload.Config, error) {
+	var cfg workload.Config
+	if s.ReplayFrom != "" {
+		trace, err := workload.ReadTraceFile(s.ReplayFrom)
+		if err != nil {
+			return cfg, err
+		}
+		replay := workload.NewReplay(trace)
+		if err := replay.CheckCompatible(s.Width, s.Height, period); err != nil {
+			return cfg, err
+		}
+		cfg = workload.Config{Process: workload.NewSilent(), Model: replay, Seed: s.Seed}
+	} else {
+		if err := s.Pattern.Validate(t); err != nil {
+			return cfg, err
+		}
+		tcfg := traffic.DefaultConfig(s.Pattern, s.Rate)
+		tcfg.Seed = s.Seed
+		if s.MaxOutstanding > 0 {
+			tcfg.MaxOutstanding = s.MaxOutstanding
+		}
+		cfg = tcfg.Workload(t)
+		proc, err := workload.NewProcess(s.Process, s.Rate)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Process = proc
+		if s.Model != "" {
+			model, err := workload.NewModel(s.Model)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Model = model
+		}
+	}
+	if s.RecordTo != "" {
+		cfg.Record = &workload.Trace{
+			Width: s.Width, Height: s.Height, Period: period,
+			Label: fmt.Sprintf("kind=%v pattern=%v process=%s rate=%g seed=%d cycles=%d",
+				s.Kind, s.Pattern, cfg.Process.Name(), s.Rate, s.Seed, s.Cycles),
+		}
+	}
+	return cfg, nil
 }
 
 // TimingResult is one BNF point plus diagnostic counters.
@@ -148,14 +213,18 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 	if err != nil {
 		return TimingResult{}, err
 	}
-	tcfg := traffic.DefaultConfig(s.Pattern, s.Rate)
-	tcfg.Seed = s.Seed
-	if s.MaxOutstanding > 0 {
-		tcfg.MaxOutstanding = s.MaxOutstanding
+	wcfg, err := s.workloadConfig(net.Torus(), rcfg.RouterPeriod)
+	if err != nil {
+		return TimingResult{}, err
 	}
-	gen := traffic.New(tcfg, net, eng, col)
+	gen := workload.New(wcfg, net, eng, col)
 	eng.AddClock(rcfg.RouterPeriod, 0, gen)
 	eng.Run(end)
+	if wcfg.Record != nil {
+		if err := wcfg.Record.WriteFile(s.RecordTo); err != nil {
+			return TimingResult{}, err
+		}
+	}
 
 	point := col.BNF(net.Nodes(), end)
 	point.OfferedRate = s.Rate

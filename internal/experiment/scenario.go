@@ -1,0 +1,98 @@
+package experiment
+
+// scenario.go is the scenario-matrix runner: the cross product of
+// algorithms × destination patterns × arrival processes × injection
+// rates, fanned through the same parallel job pool as the figure sweeps.
+// Every job's setup is fixed before dispatch, so — like the figures — a
+// parallel matrix is byte-identical to a serial one.
+
+import (
+	"fmt"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/traffic"
+)
+
+// Scenario names one cell of a scenario matrix.
+type Scenario struct {
+	Kind    core.Kind
+	Pattern traffic.Pattern
+	Process string
+	Rate    float64
+}
+
+func (s Scenario) String() string {
+	return fmt.Sprintf("%v/%v/%s @ %g", s.Kind, s.Pattern, s.Process, s.Rate)
+}
+
+// ScenarioResult pairs a scenario with its timing result.
+type ScenarioResult struct {
+	Scenario
+	TimingResult
+}
+
+// ScenarioMatrix runs every combination of the given algorithms,
+// destination patterns, arrival processes, and injection rates on the
+// base setup (which supplies torus size, cycle count, seed, and the
+// outstanding cap). Results are returned in matrix order — kinds
+// outermost, then patterns, processes, and rates — regardless of worker
+// scheduling. On failure the returned slice holds the results of every
+// scenario before the first failed one.
+func ScenarioMatrix(o Options, base TimingSetup, kinds []core.Kind,
+	patterns []traffic.Pattern, processes []string, rates []float64) ([]ScenarioResult, error) {
+	if len(processes) == 0 {
+		processes = []string{"bernoulli"}
+	}
+	scenarios := make([]Scenario, 0, len(kinds)*len(patterns)*len(processes)*len(rates))
+	for _, k := range kinds {
+		for _, p := range patterns {
+			for _, proc := range processes {
+				for _, r := range rates {
+					scenarios = append(scenarios, Scenario{Kind: k, Pattern: p, Process: proc, Rate: r})
+				}
+			}
+		}
+	}
+	jobs := make([]jobSpec[ScenarioResult], len(scenarios))
+	for i, sc := range scenarios {
+		setup := base
+		setup.Kind = sc.Kind
+		setup.Pattern = sc.Pattern
+		setup.Process = sc.Process
+		setup.Rate = sc.Rate
+		sc := sc
+		jobs[i] = jobSpec[ScenarioResult]{
+			label: "matrix / " + sc.String(),
+			run: func() (ScenarioResult, error) {
+				res, err := RunTiming(setup)
+				return ScenarioResult{Scenario: sc, TimingResult: res}, err
+			},
+		}
+	}
+	results, firstBad, err := runJobs(o, jobs)
+	return results[:firstBad], err
+}
+
+// ScenarioTable formats matrix results as one row per scenario.
+func ScenarioTable(results []ScenarioResult) Table {
+	tb := Table{
+		Title: "Scenario matrix",
+		Columns: []string{
+			"algorithm", "pattern", "process", "rate",
+			"tput(flits/router/ns)", "latency(ns)", "p99(ns)", "packets",
+		},
+	}
+	for _, r := range results {
+		tb.Rows = append(tb.Rows, []string{
+			r.Kind.String(),
+			r.Pattern.String(),
+			r.Process,
+			fmt.Sprintf("%g", r.Rate),
+			fmt.Sprintf("%.4f", r.Throughput),
+			fmt.Sprintf("%.1f", r.AvgLatencyNS),
+			fmt.Sprintf("%.1f", r.AvgLatencyP99),
+			fmt.Sprintf("%d", r.Packets),
+		})
+	}
+	return tb
+}

@@ -235,3 +235,30 @@ func (t Torus) PerfectShuffle(n Node) Node {
 	top := (v >> uint(bits-1)) & 1
 	return Node(((v << 1) | top) & ((1 << uint(bits)) - 1))
 }
+
+// Transpose returns the matrix-transpose destination of node n:
+// (x, y) -> (y, x). On a square torus this is a bijection (the classic
+// worst case for dimension-order routing); on a rectangular torus the
+// swapped coordinates wrap modulo the dimensions and the map may collide.
+func (t Torus) Transpose(n Node) Node {
+	c := t.Coord(n)
+	return t.Node(Coord{X: c.Y, Y: c.X})
+}
+
+// Tornado returns the tornado destination of node n: a fixed shift of
+// ceil(W/2)-1 hops east and ceil(H/2)-1 hops south, so every packet
+// travels just under half-way around each ring — the adversarial pattern
+// for torus wrap-link load balance. A fixed shift is a bijection on any
+// torus.
+func (t Torus) Tornado(n Node) Node {
+	c := t.Coord(n)
+	return t.Node(Coord{X: c.X + (t.Width+1)/2 - 1, Y: c.Y + (t.Height+1)/2 - 1})
+}
+
+// NeighborShift returns the nearest-neighbor destination of node n: one
+// hop east, (x, y) -> (x+1, y). It is a bijection on any torus and the
+// best case for locality (every packet crosses exactly one link).
+func (t Torus) NeighborShift(n Node) Node {
+	c := t.Coord(n)
+	return t.Node(Coord{X: c.X + 1, Y: c.Y})
+}

@@ -274,3 +274,67 @@ func TestNewTorusPanicsOnDegenerate(t *testing.T) {
 	}()
 	NewTorus(1, 4)
 }
+
+func TestTranspose(t *testing.T) {
+	tor := NewTorus(4, 4)
+	cases := map[Node]Node{
+		0:  0,  // (0,0) -> (0,0)
+		1:  4,  // (1,0) -> (0,1)
+		7:  13, // (3,1) -> (1,3)
+		15: 15,
+	}
+	for n, want := range cases {
+		if got := tor.Transpose(n); got != want {
+			t.Errorf("Transpose(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Involution on square tori.
+	for n := Node(0); n < Node(tor.Nodes()); n++ {
+		if back := tor.Transpose(tor.Transpose(n)); back != n {
+			t.Errorf("Transpose(Transpose(%d)) = %d", n, back)
+		}
+	}
+}
+
+func TestTornadoShift(t *testing.T) {
+	tor := NewTorus(8, 8) // shift of ceil(8/2)-1 = 3 in each dimension
+	if got := tor.Tornado(0); got != tor.Node(Coord{X: 3, Y: 3}) {
+		t.Errorf("Tornado(0) = %d, want node (3,3)=%d", got, tor.Node(Coord{X: 3, Y: 3}))
+	}
+	// Every hop count is the same: just under half-way in each dimension.
+	want := tor.Distance(0, tor.Tornado(0))
+	for n := Node(0); n < Node(tor.Nodes()); n++ {
+		if d := tor.Distance(n, tor.Tornado(n)); d != want {
+			t.Errorf("Tornado(%d) travels %d hops, want %d", n, d, want)
+		}
+	}
+}
+
+func TestNeighborShiftIsOneHop(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {5, 3}} {
+		tor := NewTorus(dims[0], dims[1])
+		for n := Node(0); n < Node(tor.Nodes()); n++ {
+			if d := tor.Distance(n, tor.NeighborShift(n)); d != 1 {
+				t.Errorf("%dx%d NeighborShift(%d) is %d hops", dims[0], dims[1], n, d)
+			}
+		}
+	}
+}
+
+func TestFixedShiftsArePermutations(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {5, 3}, {2, 8}} {
+		tor := NewTorus(dims[0], dims[1])
+		for name, perm := range map[string]func(Node) Node{
+			"Tornado": tor.Tornado, "NeighborShift": tor.NeighborShift,
+		} {
+			seen := make(map[Node]bool)
+			for n := Node(0); n < Node(tor.Nodes()); n++ {
+				d := perm(n)
+				if seen[d] {
+					t.Fatalf("%dx%d %s maps two nodes to %d", dims[0], dims[1], name, d)
+				}
+				seen[d] = true
+			}
+		}
+	}
+}

@@ -7,17 +7,24 @@
 // on the 21364; 64 in the Figure 11b scaling study). The home node's
 // memory responds after 73 ns; an owner cache responds after 25 router
 // cycles (§4.1).
+//
+// The package is a thin adapter over internal/workload, which decomposes
+// a workload into pluggable spatial patterns, arrival processes, and
+// transaction models; traffic pins the paper's combination (coherence
+// model, Bernoulli arrivals) and adds the destination patterns the wider
+// workload suite defines (transpose, tornado, neighbor, hotspot) to the
+// paper's three.
 package traffic
 
 import (
 	"fmt"
+	"strings"
 
 	"alpha21364/internal/network"
-	"alpha21364/internal/packet"
-	"alpha21364/internal/ports"
 	"alpha21364/internal/sim"
 	"alpha21364/internal/stats"
 	"alpha21364/internal/topology"
+	"alpha21364/internal/workload"
 )
 
 // Pattern selects how request destinations are drawn.
@@ -27,10 +34,16 @@ const (
 	Uniform Pattern = iota
 	BitReversal
 	PerfectShuffle
+	Transpose
+	Tornado
+	Neighbor
+	Hotspot
 	NumPatterns
 )
 
-var patternNames = [NumPatterns]string{"random", "bit-reversal", "perfect-shuffle"}
+var patternNames = [NumPatterns]string{
+	"random", "bit-reversal", "perfect-shuffle", "transpose", "tornado", "neighbor", "hotspot",
+}
 
 func (p Pattern) String() string {
 	if p < NumPatterns {
@@ -39,14 +52,62 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("Pattern(%d)", uint8(p))
 }
 
-// ParsePattern resolves a pattern name.
+// PatternNames returns every pattern name in declaration order.
+func PatternNames() []string {
+	return append([]string(nil), patternNames[:]...)
+}
+
+// ParsePattern resolves a pattern name, case-insensitively; "uniform" is
+// accepted for "random" and "shuffle" for "perfect-shuffle".
 func ParsePattern(name string) (Pattern, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	switch key {
+	case "uniform":
+		return Uniform, nil
+	case "shuffle":
+		return PerfectShuffle, nil
+	}
 	for p := Pattern(0); p < NumPatterns; p++ {
-		if patternNames[p] == name {
+		if patternNames[p] == key {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("traffic: unknown pattern %q", name)
+	return 0, fmt.Errorf("traffic: unknown pattern %q (valid: %s)",
+		name, strings.Join(patternNames[:], ", "))
+}
+
+// Validate reports whether the pattern is defined on the torus: the
+// bit-permutation patterns need a power-of-two node count.
+func (p Pattern) Validate(t topology.Torus) error {
+	if p == BitReversal || p == PerfectShuffle {
+		if _, ok := t.BitWidth(); !ok {
+			return fmt.Errorf("traffic: %v requires a power-of-two node count, got %dx%d",
+				p, t.Width, t.Height)
+		}
+	}
+	return nil
+}
+
+// Workload returns the workload.Pattern this enum value names, on the
+// given torus.
+func (p Pattern) Workload(t topology.Torus) workload.Pattern {
+	switch p {
+	case Uniform:
+		return workload.NewUniform(t)
+	case BitReversal:
+		return workload.NewBitReversal(t)
+	case PerfectShuffle:
+		return workload.NewPerfectShuffle(t)
+	case Transpose:
+		return workload.NewTranspose(t)
+	case Tornado:
+		return workload.NewTornado(t)
+	case Neighbor:
+		return workload.NewNeighbor(t)
+	case Hotspot:
+		return workload.DefaultHotspot(t)
+	}
+	panic(fmt.Sprintf("traffic: invalid pattern %d", uint8(p)))
 }
 
 // Config parameterizes the generator.
@@ -81,42 +142,28 @@ func DefaultConfig(pattern Pattern, rate float64) Config {
 	}
 }
 
-// txn tracks one coherence transaction.
-type txn struct {
-	requester topology.Node
-	home      topology.Node
-	owner     topology.Node // 3-hop only
-	twoHop    bool
+// Workload expands the paper's fixed workload into its workload.Config
+// decomposition: the configured pattern, Bernoulli arrivals at the
+// injection rate, and the coherence transaction model.
+func (c Config) Workload(t topology.Torus) workload.Config {
+	model := workload.NewCoherence()
+	model.TwoHopFraction = c.TwoHopFraction
+	model.MemoryLatency = c.MemoryLatency
+	model.L2LatencyCycles = c.L2LatencyCycles
+	return workload.Config{
+		Pattern:        c.Pattern.Workload(t),
+		Process:        workload.NewBernoulli(c.InjectionRate),
+		Model:          model,
+		MaxOutstanding: c.MaxOutstanding,
+		Seed:           c.Seed,
+	}
 }
 
-// Generator drives every processor in the network. It is a sim.Clocked
-// component on the router clock.
+// Generator drives every processor in the network with the paper's
+// workload. It is a thin wrapper over workload.Generator and, like it, a
+// sim.Clocked component on the router clock.
 type Generator struct {
-	cfg       Config
-	net       *network.Network
-	collector *stats.Collector
-	rng       *sim.RNG
-
-	outstanding []int
-	demand      []int64
-	// pending holds packets awaiting buffer space, per node and local
-	// input port (processor-side injection queues).
-	pending map[injKey][]*packet.Packet
-
-	txns      map[uint64]*txn
-	nextPkt   uint64
-	nextTxn   uint64
-	completed int64
-	stopped   bool
-
-	routerPeriod sim.Ticks
-	l2Latency    sim.Ticks
-	eng          *sim.Engine
-}
-
-type injKey struct {
-	node topology.Node
-	in   ports.In
+	*workload.Generator
 }
 
 // New creates a generator, installs its delivery handler on the network,
@@ -126,181 +173,5 @@ func New(cfg Config, net *network.Network, eng *sim.Engine, collector *stats.Col
 	if cfg.MaxOutstanding <= 0 {
 		panic("traffic: MaxOutstanding must be positive")
 	}
-	g := &Generator{
-		cfg:          cfg,
-		net:          net,
-		collector:    collector,
-		rng:          sim.NewRNG(cfg.Seed ^ 0xfeedface),
-		outstanding:  make([]int, net.Nodes()),
-		demand:       make([]int64, net.Nodes()),
-		pending:      make(map[injKey][]*packet.Packet),
-		txns:         make(map[uint64]*txn),
-		routerPeriod: net.Router(0).Config().RouterPeriod,
-		l2Latency:    sim.Ticks(cfg.L2LatencyCycles) * net.Router(0).Config().RouterPeriod,
-		eng:          eng,
-	}
-	net.OnDeliver(g.onDeliver)
-	return g
-}
-
-// Completed returns the number of finished transactions.
-func (g *Generator) Completed() int64 { return g.completed }
-
-// Outstanding returns a node's in-flight transaction count.
-func (g *Generator) Outstanding(node topology.Node) int { return g.outstanding[node] }
-
-// InFlightTxns returns the number of open transactions.
-func (g *Generator) InFlightTxns() int { return len(g.txns) }
-
-// PendingInjections returns packets queued processor-side for buffer space.
-func (g *Generator) PendingInjections() int {
-	n := 0
-	for _, q := range g.pending {
-		n += len(q)
-	}
-	return n
-}
-
-// Stop halts new transaction demand; in-flight transactions drain.
-func (g *Generator) Stop() { g.stopped = true }
-
-// Tick implements sim.Clocked on the router clock.
-func (g *Generator) Tick(now sim.Ticks) {
-	for node := 0; node < g.net.Nodes(); node++ {
-		n := topology.Node(node)
-		if !g.stopped && g.rng.Bernoulli(g.cfg.InjectionRate) {
-			g.demand[node]++
-		}
-		for g.demand[node] > 0 && g.outstanding[node] < g.cfg.MaxOutstanding {
-			g.demand[node]--
-			g.outstanding[node]++
-			g.startTxn(n, now)
-		}
-	}
-	g.drainPending(now)
-}
-
-// startTxn creates a transaction and queues its request at the requester's
-// cache port.
-func (g *Generator) startTxn(requester topology.Node, now sim.Ticks) {
-	g.nextTxn++
-	t := &txn{
-		requester: requester,
-		home:      g.homeFor(requester),
-		twoHop:    g.rng.Bernoulli(g.cfg.TwoHopFraction),
-	}
-	if !t.twoHop {
-		t.owner = topology.Node(g.rng.Intn(g.net.Nodes()))
-	}
-	g.txns[g.nextTxn] = t
-	req := g.newPacket(packet.Request, requester, t.home, g.nextTxn, now)
-	g.enqueue(requester, ports.InCache, req, now)
-}
-
-// homeFor draws the home node for a request from a source node.
-func (g *Generator) homeFor(src topology.Node) topology.Node {
-	torus := g.net.Torus()
-	switch g.cfg.Pattern {
-	case BitReversal:
-		return torus.BitReversal(src)
-	case PerfectShuffle:
-		return torus.PerfectShuffle(src)
-	default:
-		// Uniform over the other nodes. (Permutation patterns may map a
-		// node to itself; such requests are local-memory accesses that
-		// still traverse the router from the cache port to the MC port.)
-		for {
-			d := topology.Node(g.rng.Intn(g.net.Nodes()))
-			if d != src || g.net.Nodes() == 1 {
-				return d
-			}
-		}
-	}
-}
-
-func (g *Generator) newPacket(cl packet.Class, src, dst topology.Node, txnID uint64, now sim.Ticks) *packet.Packet {
-	g.nextPkt++
-	p := packet.New(g.nextPkt, cl, src, dst, now)
-	p.TxnID = txnID
-	g.collector.Injected(p)
-	return p
-}
-
-// enqueue adds a packet to a node's processor-side injection queue and
-// tries to push it into the router immediately.
-func (g *Generator) enqueue(node topology.Node, in ports.In, p *packet.Packet, now sim.Ticks) {
-	k := injKey{node, in}
-	g.pending[k] = append(g.pending[k], p)
-	g.tryInject(k, now)
-}
-
-// drainPending retries one injection per (node, port) per cycle.
-func (g *Generator) drainPending(now sim.Ticks) {
-	for node := 0; node < g.net.Nodes(); node++ {
-		for _, in := range []ports.In{ports.InCache, ports.InMC0, ports.InMC1, ports.InIO} {
-			g.tryInject(injKey{topology.Node(node), in}, now)
-		}
-	}
-}
-
-func (g *Generator) tryInject(k injKey, now sim.Ticks) {
-	q := g.pending[k]
-	if len(q) == 0 {
-		return
-	}
-	if !g.net.Inject(q[0], k.node, k.in, now) {
-		return
-	}
-	copy(q, q[1:])
-	q[len(q)-1] = nil
-	if len(q) == 1 {
-		delete(g.pending, k)
-	} else {
-		g.pending[k] = q[:len(q)-1]
-	}
-}
-
-// onDeliver advances the owning transaction when a packet reaches its
-// destination's local ports.
-func (g *Generator) onDeliver(p *packet.Packet, at sim.Ticks) {
-	t := g.txns[p.TxnID]
-	if t == nil {
-		return // packet outside transaction bookkeeping (tests)
-	}
-	switch p.Class {
-	case packet.Request:
-		if t.twoHop {
-			// Home memory responds with the cache block after 73 ns.
-			g.eng.Schedule(at+g.cfg.MemoryLatency, func() {
-				resp := g.newPacket(packet.BlockResponse, t.home, t.requester, p.TxnID, g.eng.Now())
-				g.enqueue(t.home, g.mcPort(p.TxnID), resp, g.eng.Now())
-			})
-		} else {
-			// Directory forwards the request to the owner after the memory
-			// (directory) lookup.
-			g.eng.Schedule(at+g.cfg.MemoryLatency, func() {
-				fwd := g.newPacket(packet.Forward, t.home, t.owner, p.TxnID, g.eng.Now())
-				g.enqueue(t.home, g.mcPort(p.TxnID), fwd, g.eng.Now())
-			})
-		}
-	case packet.Forward:
-		// Owner's L2 supplies the block after 25 cycles.
-		g.eng.Schedule(at+g.l2Latency, func() {
-			resp := g.newPacket(packet.BlockResponse, t.owner, t.requester, p.TxnID, g.eng.Now())
-			g.enqueue(t.owner, ports.InCache, resp, g.eng.Now())
-		})
-	case packet.BlockResponse:
-		g.outstanding[t.requester]--
-		g.completed++
-		delete(g.txns, p.TxnID)
-	}
-}
-
-// mcPort interleaves response injections across the two memory controller
-// input ports.
-func (g *Generator) mcPort(txnID uint64) ports.In {
-	if txnID%2 == 0 {
-		return ports.InMC0
-	}
-	return ports.InMC1
+	return &Generator{workload.New(cfg.Workload(net.Torus()), net, eng, collector)}
 }

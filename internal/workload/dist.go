@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"fmt"
+
+	"alpha21364/internal/sim"
+)
+
+// cumDist is a normalized cumulative weight distribution; index i is the
+// probability of drawing an index <= i.
+type cumDist []float64
+
+// newCumDist normalizes positive weights into a cumulative distribution.
+func newCumDist(weights []float64) (cumDist, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("workload: empty weight list")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("workload: weights must be positive, got %g", w)
+		}
+		total += w
+	}
+	cum := make(cumDist, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return cum, nil
+}
+
+// draw returns a weight-proportional index, consuming one Float64.
+func (c cumDist) draw(rng *sim.RNG) int {
+	u := rng.Float64()
+	for i, v := range c {
+		if u < v {
+			return i
+		}
+	}
+	return len(c) - 1
+}

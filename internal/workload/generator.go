@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"alpha21364/internal/network"
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
+)
+
+// Config composes one workload: a spatial pattern, an arrival process,
+// and a transaction model, plus the closed-loop cap and recording hooks.
+type Config struct {
+	// Pattern draws request destinations; nil means uniform.
+	Pattern Pattern
+	// Process is the arrival law; nil means no new demands (replay).
+	Process Process
+	// Model is the transaction model; nil means the paper's coherence
+	// model with default parameters.
+	Model Model
+	// MaxOutstanding caps in-flight transactions per processor (the
+	// 21364's 16 outstanding cache misses; Figure 11b uses 64). Zero or
+	// negative means uncapped.
+	MaxOutstanding int
+	// Seed feeds the workload RNG stream (patterns, processes, and model
+	// coin flips), independent of the router seeds.
+	Seed uint64
+	// Record, when non-nil, appends every packet creation to the trace.
+	Record *Trace
+}
+
+// Generator drives every processor in the network: it asks the Process
+// for demands, opens transactions through the Model (bounded by the
+// outstanding cap), owns the processor-side injection queues, and relays
+// deliveries back to the Model. It is a sim.Clocked component on the
+// router clock.
+type Generator struct {
+	cfg       Config
+	net       *network.Network
+	collector *stats.Collector
+	rng       *sim.RNG
+	model     Model
+	process   Process
+
+	outstanding []int
+	demand      []int64
+	// pending holds packets awaiting buffer space, per node and local
+	// input port (processor-side injection queues).
+	pending map[injKey][]*packet.Packet
+
+	nextPkt   uint64
+	completed int64
+	stopped   bool
+	// inTick is true while the generator's clock tick runs; it stamps the
+	// Clocked flag on recorded trace events.
+	inTick bool
+
+	eng *sim.Engine
+}
+
+type injKey struct {
+	node topology.Node
+	in   ports.In
+}
+
+// New creates a generator, installs its delivery handler on the network,
+// and returns it. Attach it to the router clock domain before the routers
+// so demands arrive at the head of each cycle. The RNG is seeded exactly
+// as the pre-workload traffic generator was (seed ^ 0xfeedface), keeping
+// the paper's figures bit-identical.
+func New(cfg Config, net *network.Network, eng *sim.Engine, collector *stats.Collector) *Generator {
+	if cfg.Pattern == nil {
+		cfg.Pattern = NewUniform(net.Torus())
+	}
+	if cfg.Process == nil {
+		cfg.Process = NewSilent()
+	}
+	if cfg.Model == nil {
+		cfg.Model = NewCoherence()
+	}
+	g := &Generator{
+		cfg:         cfg,
+		net:         net,
+		collector:   collector,
+		rng:         sim.NewRNG(cfg.Seed ^ 0xfeedface),
+		model:       cfg.Model,
+		process:     cfg.Process,
+		outstanding: make([]int, net.Nodes()),
+		demand:      make([]int64, net.Nodes()),
+		pending:     make(map[injKey][]*packet.Packet),
+		eng:         eng,
+	}
+	routerPeriod := net.Router(0).Config().RouterPeriod
+	g.process.Bind(net.Nodes())
+	g.model.Bind(&Env{
+		Torus:        net.Torus(),
+		Pattern:      cfg.Pattern,
+		RNG:          g.rng,
+		Eng:          eng,
+		RouterPeriod: routerPeriod,
+		NewPacket:    g.newPacket,
+		Enqueue:      g.enqueue,
+		Complete:     g.complete,
+	})
+	net.OnDeliver(g.onDeliver)
+	return g
+}
+
+// Model returns the generator's transaction model.
+func (g *Generator) Model() Model { return g.model }
+
+// Completed returns the number of finished transactions.
+func (g *Generator) Completed() int64 { return g.completed }
+
+// Outstanding returns a node's in-flight transaction count.
+func (g *Generator) Outstanding(node topology.Node) int { return g.outstanding[node] }
+
+// InFlightTxns returns the number of open transactions.
+func (g *Generator) InFlightTxns() int { return g.model.InFlight() }
+
+// PendingInjections returns packets queued processor-side for buffer
+// space.
+func (g *Generator) PendingInjections() int {
+	n := 0
+	for _, q := range g.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// Stop halts new transaction demand; in-flight transactions drain.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Tick implements sim.Clocked on the router clock: draw arrivals, open
+// transactions up to the outstanding cap, give the model its per-cycle
+// hook, and retry pending injections.
+func (g *Generator) Tick(now sim.Ticks) {
+	g.inTick = true
+	for node := 0; node < g.net.Nodes(); node++ {
+		n := topology.Node(node)
+		if !g.stopped {
+			g.demand[node] += int64(g.process.Arrivals(node, g.rng))
+		}
+		for g.demand[node] > 0 && (g.cfg.MaxOutstanding <= 0 || g.outstanding[node] < g.cfg.MaxOutstanding) {
+			g.demand[node]--
+			g.outstanding[node]++
+			g.model.Start(n, now)
+		}
+	}
+	g.model.Tick(now)
+	g.inTick = false
+	g.drainPending(now)
+}
+
+// newPacket mints the next packet at the current engine time, records it
+// with the statistics collector, and leaves a placeholder trace event
+// (the injection point is completed by enqueue).
+func (g *Generator) newPacket(cl packet.Class, src, dst topology.Node, txnID uint64) *packet.Packet {
+	g.nextPkt++
+	p := packet.New(g.nextPkt, cl, src, dst, g.eng.Now())
+	p.TxnID = txnID
+	g.collector.Injected(p)
+	if g.cfg.Record != nil {
+		g.cfg.Record.Events = append(g.cfg.Record.Events, Event{
+			At:      g.eng.Now(),
+			Clocked: g.inTick,
+			Node:    src, // provisional; enqueue records the true injection node
+			In:      ports.InCache,
+			Class:   cl,
+			Src:     src,
+			Dst:     dst,
+		})
+	}
+	return p
+}
+
+// enqueue adds a packet to a node's processor-side injection queue and
+// tries to push it into the router immediately.
+func (g *Generator) enqueue(node topology.Node, in ports.In, p *packet.Packet) {
+	if g.cfg.Record != nil {
+		// Fix up the injection point of the event newPacket just appended.
+		ev := &g.cfg.Record.Events[len(g.cfg.Record.Events)-1]
+		ev.Node, ev.In = node, in
+	}
+	k := injKey{node, in}
+	g.pending[k] = append(g.pending[k], p)
+	g.tryInject(k, g.eng.Now())
+}
+
+// complete closes one of requester's transactions.
+func (g *Generator) complete(requester topology.Node) {
+	g.outstanding[requester]--
+	g.completed++
+}
+
+// drainPending retries one injection per (node, port) per cycle.
+func (g *Generator) drainPending(now sim.Ticks) {
+	for node := 0; node < g.net.Nodes(); node++ {
+		for _, in := range []ports.In{ports.InCache, ports.InMC0, ports.InMC1, ports.InIO} {
+			g.tryInject(injKey{topology.Node(node), in}, now)
+		}
+	}
+}
+
+func (g *Generator) tryInject(k injKey, now sim.Ticks) {
+	q := g.pending[k]
+	if len(q) == 0 {
+		return
+	}
+	if !g.net.Inject(q[0], k.node, k.in, now) {
+		return
+	}
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	if len(q) == 1 {
+		delete(g.pending, k)
+	} else {
+		g.pending[k] = q[:len(q)-1]
+	}
+}
+
+// onDeliver relays deliveries to the model.
+func (g *Generator) onDeliver(p *packet.Packet, at sim.Ticks) {
+	g.model.Deliver(p, at)
+}

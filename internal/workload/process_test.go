@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"alpha21364/internal/sim"
+)
+
+// meanRate simulates the process over nodes×cycles and returns the
+// empirical demands per node per cycle.
+func meanRate(p Process, nodes, cycles int, seed uint64) float64 {
+	p.Bind(nodes)
+	rng := sim.NewRNG(seed)
+	total := 0
+	for c := 0; c < cycles; c++ {
+		for n := 0; n < nodes; n++ {
+			total += p.Arrivals(n, rng)
+		}
+	}
+	return float64(total) / float64(nodes*cycles)
+}
+
+func TestProcessMeanRates(t *testing.T) {
+	const rate = 0.05
+	for _, tc := range []struct {
+		name string
+		p    Process
+		tol  float64
+	}{
+		{"bernoulli", NewBernoulli(rate), 0.10},
+		{"onoff", NewOnOff(rate), 0.15}, // bursty: higher variance, looser tolerance
+		{"deterministic", NewDeterministic(rate), 1e-9},
+	} {
+		got := meanRate(tc.p, 16, 50000, 42)
+		if rel := math.Abs(got-rate) / rate; rel > tc.tol {
+			t.Errorf("%s: mean rate %.5f, want %.5f ± %.0f%%", tc.name, got, rate, tc.tol*100)
+		}
+		if tc.p.Rate() != rate {
+			t.Errorf("%s: Rate() = %g, want %g", tc.name, tc.p.Rate(), rate)
+		}
+	}
+}
+
+// TestOnOffIsBursty verifies the defining property of the on/off process:
+// at the same mean rate its arrivals are far more clustered than
+// Bernoulli's. We compare the variance of per-window arrival counts.
+func TestOnOffIsBursty(t *testing.T) {
+	const rate, cycles, window = 0.05, 60000, 32
+	variance := func(p Process) float64 {
+		p.Bind(1)
+		rng := sim.NewRNG(7)
+		var counts []float64
+		for w := 0; w < cycles/window; w++ {
+			c := 0
+			for i := 0; i < window; i++ {
+				c += p.Arrivals(0, rng)
+			}
+			counts = append(counts, float64(c))
+		}
+		var sum, ss float64
+		for _, c := range counts {
+			sum += c
+		}
+		mean := sum / float64(len(counts))
+		for _, c := range counts {
+			ss += (c - mean) * (c - mean)
+		}
+		return ss / float64(len(counts))
+	}
+	bern := variance(NewBernoulli(rate))
+	burst := variance(NewOnOff(rate))
+	if burst < 2*bern {
+		t.Errorf("on/off window variance %.3f not clearly above Bernoulli's %.3f", burst, bern)
+	}
+}
+
+func TestDeterministicExactCount(t *testing.T) {
+	const rate = 0.03125 // 1/32: an exact binary fraction, no float drift
+	p := NewDeterministic(rate)
+	p.Bind(4)
+	total := 0
+	const cycles = 3200
+	for c := 0; c < cycles; c++ {
+		for n := 0; n < 4; n++ {
+			total += p.Arrivals(n, nil)
+		}
+	}
+	if want := int(rate * cycles * 4); total != want {
+		t.Errorf("deterministic produced %d demands, want exactly %d", total, want)
+	}
+}
+
+// TestDeterministicStagger: nodes must not all fire on the same cycle.
+func TestDeterministicStagger(t *testing.T) {
+	p := NewDeterministic(0.25)
+	p.Bind(4)
+	fires := map[int][]int{}
+	for c := 0; c < 8; c++ {
+		for n := 0; n < 4; n++ {
+			if p.Arrivals(n, nil) > 0 {
+				fires[c] = append(fires[c], n)
+			}
+		}
+	}
+	for c, nodes := range fires {
+		if len(nodes) == 4 {
+			t.Fatalf("all nodes fired together on cycle %d: stagger broken", c)
+		}
+	}
+}
+
+func TestNewProcessAliasesAndErrors(t *testing.T) {
+	for alias, canon := range map[string]string{
+		"": "bernoulli", "Bernoulli": "bernoulli", "bursty": "onoff",
+		"ONOFF": "onoff", "periodic": "deterministic", " Deterministic ": "deterministic",
+	} {
+		p, err := NewProcess(alias, 0.01)
+		if err != nil {
+			t.Errorf("NewProcess(%q): %v", alias, err)
+			continue
+		}
+		if p.Name() != canon {
+			t.Errorf("NewProcess(%q) = %q, want %q", alias, p.Name(), canon)
+		}
+	}
+	_, err := NewProcess("poisson", 0.01)
+	if err == nil {
+		t.Fatal("accepted unknown process")
+	}
+	for _, name := range ProcessNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestOnOffPreservesHighMeanRates: above the default 0.25 ON fraction
+// the process widens its ON share rather than silently undershooting the
+// requested mean.
+func TestOnOffPreservesHighMeanRates(t *testing.T) {
+	for _, rate := range []float64{0.4, 0.8, 1.0} {
+		got := meanRate(NewOnOff(rate), 16, 50000, 3)
+		if rel := math.Abs(got-rate) / rate; rel > 0.1 {
+			t.Errorf("onoff at rate %g delivered mean %.4f", rate, got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"alpha21364/internal/packet"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/topology"
+)
+
+// Replay re-injects a recorded Trace bit for bit: every packet is created
+// at its recorded tick, in its recorded engine phase (scheduled event or
+// clock tick), at its recorded node and port. Because the injection
+// stream is fixed rather than driven by the protocol's closed loop,
+// replaying the same trace under different arbiters compares them on the
+// identical packet sequence.
+type Replay struct {
+	trace *Trace
+	env   *Env
+	// next indexes the first clocked event not yet injected; scheduled
+	// events are pre-registered with the engine in Bind.
+	next      int
+	injected  int64
+	delivered int64
+}
+
+// NewReplay returns a model that replays the trace. Validate the trace
+// against the replaying network before the run with CheckCompatible.
+func NewReplay(t *Trace) *Replay { return &Replay{trace: t} }
+
+func (r *Replay) Name() string { return "replay" }
+
+// CheckCompatible verifies the trace was captured on a torus of the
+// given dimensions and on the same router clock. A different period
+// would strand clock-phase events between the replaying run's edges,
+// silently dropping injections; refuse instead. Traces with an unknown
+// period (zero) skip the clock check.
+func (r *Replay) CheckCompatible(width, height int, period sim.Ticks) error {
+	if r.trace.Width != width || r.trace.Height != height {
+		return fmt.Errorf("workload: trace was recorded on a %dx%d torus, replaying on %dx%d",
+			r.trace.Width, r.trace.Height, width, height)
+	}
+	if r.trace.Period != 0 && r.trace.Period != period {
+		return fmt.Errorf("workload: trace was recorded on a %d-tick router clock, replaying on %d",
+			r.trace.Period, period)
+	}
+	return nil
+}
+
+// Bind pre-schedules every event-phase injection at its exact tick.
+// Scheduling happens here, before the run starts, so these events carry
+// the lowest sequence numbers at their tick and run at the head of the
+// event phase — before link arrivals and deliveries — mirroring where
+// response creations sat in the recorded run relative to the injection
+// queues they touch.
+func (r *Replay) Bind(env *Env) {
+	r.env = env
+	for i := range r.trace.Events {
+		e := r.trace.Events[i]
+		if e.Clocked {
+			continue
+		}
+		env.Eng.Schedule(e.At, func() { r.inject(e) })
+	}
+}
+
+// Tick injects the clock-phase events recorded at this tick, in recorded
+// order (the recorded order is the per-node demand order of the original
+// generator's tick).
+func (r *Replay) Tick(now sim.Ticks) {
+	for r.next < len(r.trace.Events) {
+		e := r.trace.Events[r.next]
+		if !e.Clocked {
+			r.next++
+			continue
+		}
+		if e.At > now {
+			return
+		}
+		r.next++
+		if e.At == now {
+			r.inject(e)
+		}
+		// Clocked events with At < now belong to ticks this run never
+		// dispatched (possible only if replaying on a different clock);
+		// skip them rather than inject late.
+	}
+}
+
+func (r *Replay) inject(e Event) {
+	p := r.env.NewPacket(e.Class, e.Src, e.Dst, 0)
+	r.env.Enqueue(e.Node, e.In, p)
+	r.injected++
+}
+
+// Start is never called: replay runs pair the model with the silent
+// arrival process.
+func (r *Replay) Start(topology.Node, sim.Ticks) {
+	panic("workload: Replay.Start called; replay runs must use the silent process")
+}
+
+func (r *Replay) Deliver(p *packet.Packet, at sim.Ticks) { r.delivered++ }
+
+// InFlight returns injected-but-undelivered packets.
+func (r *Replay) InFlight() int { return int(r.injected - r.delivered) }
+
+// Injected returns how many trace events have been re-injected so far.
+func (r *Replay) Injected() int64 { return r.injected }
