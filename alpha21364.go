@@ -4,6 +4,13 @@
 //
 // It provides, as a library:
 //
+//   - the Scenario/Runner API: a Spec is a declarative, versioned,
+//     JSON-serializable description of one simulation or a whole
+//     sweep/matrix (NewSpec and the With* options, ParseSpec,
+//     FigureSpecs); a Runner executes Specs under a context with bounded
+//     workers and a streaming event channel (NewRunner, Runner.Run,
+//     Runner.Stream); a Result is the stable machine-readable outcome
+//     with a JSONL encoder (Result.EncodeJSONL, DecodeResultJSONL);
 //   - the five arbitration algorithms the paper compares — SPAA (the
 //     21364's Simple Pipelined Arbitration Algorithm), PIM and PIM1, the
 //     wrapped Wave-Front Arbiter, and MCM — plus the OPF strawman and the
@@ -12,20 +19,23 @@
 //     (RunStandalone, MCMSaturationLoad);
 //   - the cycle-accurate timing model of the 21364 router and its 2D-torus
 //     network with the paper's synthetic coherence workloads (RunTiming,
-//     SweepBNF);
+//     RunTimingCtx);
 //   - a pluggable workload suite decomposing traffic into spatial
 //     patterns × arrival processes × transaction models, with trace
 //     record/replay for reproducible cross-algorithm comparisons
-//     (WorkloadPattern, WorkloadProcess, WorkloadModel, Trace,
-//     ScenarioMatrix);
-//   - per-figure experiment runners (Figure8 ... Figure11c) used by the
-//     cmd/sweep tool and the repository's benchmarks.
+//     (WorkloadPattern, WorkloadProcess, WorkloadModel, Trace);
+//   - canned figure Specs and deprecated per-figure runners
+//     (Figure8 ... Figure11c) used by the cmd/sweep tool and the
+//     repository's benchmarks.
 //
 // The architecture documentation lives in DESIGN.md; measured-vs-paper
 // results for every figure live in EXPERIMENTS.md.
 package alpha21364
 
 import (
+	"context"
+	"io"
+
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
 	"alpha21364/internal/sim"
@@ -200,10 +210,129 @@ func MCMSaturationLoad(cfg StandaloneConfig) float64 {
 	return standalone.MCMSaturationLoad(cfg)
 }
 
+// Spec is a declarative, versioned, JSON-serializable description of one
+// simulation or a whole sweep/matrix; build it with NewSpec and the
+// With* options, or load canned paper figures with FigureSpecs.
+type Spec = experiment.Spec
+
+// SpecOption configures a Spec under construction; see NewSpec.
+type SpecOption = experiment.SpecOption
+
+// TopologySpec, WorkloadSpec, TimingSpec, and StandaloneSpec are the
+// sections of a Spec.
+type (
+	TopologySpec   = experiment.TopologySpec
+	WorkloadSpec   = experiment.WorkloadSpec
+	TimingSpec     = experiment.TimingSpec
+	StandaloneSpec = experiment.StandaloneSpec
+)
+
+// SpecVersion is the Spec schema version this build reads and writes.
+const SpecVersion = experiment.SpecVersion
+
+// Spec modes and standalone sweep axes.
+const (
+	ModeTiming       = experiment.ModeTiming
+	ModeStandalone   = experiment.ModeStandalone
+	AxisLoad         = experiment.AxisLoad
+	AxisLoadFraction = experiment.AxisLoadFraction
+	AxisOccupancy    = experiment.AxisOccupancy
+)
+
+// NewSpec builds a Spec from functional options.
+func NewSpec(opts ...SpecOption) Spec { return experiment.NewSpec(opts...) }
+
+// Spec construction options; see the experiment package for details.
+var (
+	WithName            = experiment.WithName
+	WithTopology        = experiment.WithTopology
+	WithArbiters        = experiment.WithArbiters
+	WithPatterns        = experiment.WithPatterns
+	WithProcesses       = experiment.WithProcesses
+	WithModel           = experiment.WithModel
+	WithRates           = experiment.WithRates
+	WithMaxOutstanding  = experiment.WithMaxOutstanding
+	WithRecord          = experiment.WithRecord
+	WithReplay          = experiment.WithReplay
+	WithCycles          = experiment.WithCycles
+	WithSeed            = experiment.WithSeed
+	WithWarmupFraction  = experiment.WithWarmupFraction
+	WithScaledPipeline  = experiment.WithScaledPipeline
+	WithEpochCycles     = experiment.WithEpochCycles
+	WithStandaloneSweep = experiment.WithStandaloneSweep
+)
+
+// ParseSpec parses and validates one Spec from strict JSON (unknown
+// fields and versions are rejected); ParseSpecs also accepts an array.
+func ParseSpec(data []byte) (Spec, error)      { return experiment.ParseSpec(data) }
+func ParseSpecs(data []byte) ([]Spec, error)   { return experiment.ParseSpecs(data) }
+func ReadSpecFile(path string) ([]Spec, error) { return experiment.ReadSpecFile(path) }
+
+// WriteSpecFile saves Specs as JSON (an object for one, an array for
+// several); EncodeSpec renders the canonical serialized form.
+func WriteSpecFile(path string, specs ...Spec) error { return experiment.WriteSpecFile(path, specs...) }
+func EncodeSpec(s Spec) ([]byte, error)              { return experiment.EncodeSpec(s) }
+
+// FigureSpecs returns the canned Specs reproducing a paper figure ("8",
+// "9", "10", "10s", "11a", "11b", "11c", or "all"), one Spec per panel.
+func FigureSpecs(name string, o Options) ([]Spec, error) { return experiment.FigureSpecs(name, o) }
+
+// Runner executes Specs under a context with bounded workers and a
+// streaming event channel; construct with NewRunner.
+type Runner = experiment.Runner
+
+// RunnerOption configures a Runner; see WithWorkers and WithEventSink.
+type RunnerOption = experiment.RunnerOption
+
+// Event is one element of a Runner's progress stream.
+type Event = experiment.Event
+
+// EventType discriminates Runner events.
+type EventType = experiment.EventType
+
+// Runner event types.
+const (
+	EventRunStart   = experiment.EventRunStart
+	EventPointDone  = experiment.EventPointDone
+	EventSeriesDone = experiment.EventSeriesDone
+	EventRunDone    = experiment.EventRunDone
+)
+
+// NewRunner returns a Runner; WithWorkers bounds its concurrency and
+// WithEventSink observes its event stream.
+func NewRunner(opts ...RunnerOption) *Runner { return experiment.NewRunner(opts...) }
+
+var (
+	WithWorkers   = experiment.WithWorkers
+	WithEventSink = experiment.WithEventSink
+)
+
+// Result is the stable machine-readable outcome of running a Spec, with
+// a JSONL encoder (EncodeJSONL) and document form (WriteFile).
+type Result = experiment.Result
+
+// ResultSeries and ResultPoint are the rows of a Result.
+type (
+	ResultSeries = experiment.ResultSeries
+	ResultPoint  = experiment.ResultPoint
+)
+
+// ResultVersion is the Result schema version this build reads and writes.
+const ResultVersion = experiment.ResultVersion
+
+// DecodeResultJSONL reconstructs a Result from its JSONL stream;
+// ReadResultFile loads the document form.
+func DecodeResultJSONL(r io.Reader) (*Result, error) { return experiment.DecodeResultJSONL(r) }
+func ReadResultFile(path string) (*Result, error)    { return experiment.ReadResultFile(path) }
+
 // TimingSetup describes one timing-model simulation.
+//
+// Deprecated: describe simulations as Specs (NewSpec) and run them with
+// a Runner; TimingSetup remains for the RunTiming adapter.
 type TimingSetup = experiment.TimingSetup
 
-// TimingResult is a BNF point plus diagnostics.
+// TimingResult is a BNF point plus diagnostics (AvgLatencyP99 is a
+// deprecated alias of LatencyP99NS).
 type TimingResult = experiment.TimingResult
 
 // Point is one latency/throughput measurement.
@@ -216,13 +345,22 @@ type Series = stats.Series
 // exclusion so statistics cover the entire run (0 keeps the 0.2 default).
 const NoWarmup = experiment.NoWarmup
 
-// RunTiming executes one timing simulation.
+// RunTiming executes one timing simulation; RunTimingCtx is the same
+// under a context (cancellation stops the run promptly).
 func RunTiming(s TimingSetup) (TimingResult, error) { return experiment.RunTiming(s) }
+
+// RunTimingCtx executes one timing simulation under a context.
+func RunTimingCtx(ctx context.Context, s TimingSetup) (TimingResult, error) {
+	return experiment.RunTimingCtx(ctx, s)
+}
 
 // SweepBNF sweeps injection rates for one algorithm, producing a BNF
 // curve. The rates are simulated concurrently (one worker per CPU) with
 // byte-identical results to a serial run; use SweepBNFOpts to bound or
 // observe the parallelism.
+//
+// Deprecated: build a Spec with WithRates and run it with a Runner; the
+// Result carries the same curve plus percentiles and diagnostics.
 func SweepBNF(s TimingSetup, rates []float64) (Series, error) {
 	return experiment.Sweep(s, rates)
 }
@@ -230,11 +368,17 @@ func SweepBNF(s TimingSetup, rates []float64) (Series, error) {
 // SweepBNFOpts is SweepBNF with explicit runner options: Options.Workers
 // bounds the concurrency (1 = serial) and Options.Progress, when non-nil,
 // observes each finished simulation.
+//
+// Deprecated: use NewRunner(WithWorkers(n), WithEventSink(fn)); see
+// SweepBNF.
 func SweepBNFOpts(o Options, s TimingSetup, rates []float64) (Series, error) {
 	return experiment.SweepOpts(o, s, rates)
 }
 
 // ProgressFunc observes sweep progress; see Options.Progress.
+//
+// Deprecated: Runner events (WithEventSink, Runner.Stream) carry the
+// same done/total/label plus the finished point itself.
 type ProgressFunc = experiment.ProgressFunc
 
 // Options tunes the per-figure experiment runners.
@@ -255,9 +399,19 @@ type ScenarioResult = experiment.ScenarioResult
 // ScenarioMatrix sweeps algorithms × patterns × processes × rates on the
 // base setup through the parallel runner; results are byte-identical to
 // a serial run.
+//
+// Deprecated: the cross product is Spec expansion now — use MatrixSpec
+// (or NewSpec with multi-valued WithPatterns/WithProcesses) and run it
+// with a Runner.
 func ScenarioMatrix(o Options, base TimingSetup, kinds []Kind,
 	patterns []Pattern, processes []string, rates []float64) ([]ScenarioResult, error) {
 	return experiment.ScenarioMatrix(o, base, kinds, patterns, processes, rates)
+}
+
+// MatrixSpec lifts typed matrix axes into a declarative Spec.
+func MatrixSpec(base TimingSetup, kinds []Kind, patterns []Pattern,
+	processes []string, rates []float64) Spec {
+	return experiment.MatrixSpec(base, kinds, patterns, processes, rates)
 }
 
 // Figure runners reproduce the paper's evaluation; see cmd/sweep.

@@ -1,16 +1,21 @@
 // Command netsim runs one timing-model simulation of the 21364 torus and
-// prints its BNF point and diagnostics.
+// prints its BNF point and diagnostics. It is a thin client of the
+// Scenario/Runner API: the flags build a single-scenario Spec, a Runner
+// executes it, and -json dumps the machine-readable Result document.
 //
 // Usage:
 //
 //	netsim [-alg SPAA-rotary] [-size 8x8] [-pattern random] [-rate F]
-//	       [-outstanding N] [-cycles N] [-scale-pipeline] [-seed N]
+//	       [-outstanding N] [-cycles N] [-scale-pipeline] [-seed N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"alpha21364"
 )
@@ -20,41 +25,56 @@ func main() {
 	log.SetPrefix("netsim: ")
 	alg := flag.String("alg", "SPAA-base", "algorithm (PIM1, WFA-base, WFA-rotary, SPAA-base, SPAA-rotary)")
 	size := flag.String("size", "8x8", "torus dimensions WxH")
-	pattern := flag.String("pattern", "random", "traffic pattern (random, bit-reversal, perfect-shuffle)")
+	pattern := flag.String("pattern", "random", "traffic pattern (random, bit-reversal, perfect-shuffle, ...)")
 	rate := flag.Float64("rate", 0.02, "new transactions per node per router cycle")
 	outstanding := flag.Int("outstanding", 16, "outstanding-miss limit per processor")
 	cycles := flag.Int("cycles", 75000, "router cycles to simulate")
 	scale := flag.Bool("scale-pipeline", false, "double pipeline depth and clock (Figure 11a)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	series := flag.Int("series", 0, "if > 0, print delivered flits per N-cycle epoch (saturation oscillation)")
+	jsonOut := flag.Bool("json", false, "print the Result document as JSON instead of text")
 	flag.Parse()
 
-	kind, err := alpha21364.ParseKind(*alg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pat, err := alpha21364.ParsePattern(*pattern)
-	if err != nil {
-		log.Fatal(err)
-	}
 	var w, h int
 	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
 		log.Fatalf("bad -size %q (want WxH, each >= 2)", *size)
 	}
 
-	res, err := alpha21364.RunTiming(alpha21364.TimingSetup{
-		Width: w, Height: h, Kind: kind, Pattern: pat,
-		Rate: *rate, MaxOutstanding: *outstanding,
-		ScalePipeline: *scale, Cycles: *cycles, Seed: *seed,
-		EpochCycles: *series,
-	})
+	opts := []alpha21364.SpecOption{
+		alpha21364.WithName("netsim"),
+		alpha21364.WithTopology(w, h),
+		alpha21364.WithArbiters(*alg),
+		alpha21364.WithPatterns(*pattern),
+		alpha21364.WithRates(*rate),
+		alpha21364.WithMaxOutstanding(*outstanding),
+		alpha21364.WithCycles(*cycles),
+		alpha21364.WithSeed(*seed),
+		alpha21364.WithEpochCycles(*series),
+	}
+	if *scale {
+		opts = append(opts, alpha21364.WithScaledPipeline())
+	}
+	spec := alpha21364.NewSpec(opts...)
+
+	result, err := alpha21364.NewRunner().Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("network:            %dx%d torus, %s traffic, %s\n", w, h, pat, kind)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	s := result.Series[0]
+	res := s.Points[0]
+	fmt.Printf("network:            %dx%d torus, %s traffic, %s\n", w, h, s.Pattern, s.Arbiter)
 	fmt.Printf("offered rate:       %.4f txn/node/cycle (max %d outstanding)\n", *rate, *outstanding)
 	fmt.Printf("delivered:          %.4f flits/router/ns\n", res.Throughput)
-	fmt.Printf("avg packet latency: %.1f ns (p99 %.0f ns)\n", res.AvgLatencyNS, res.AvgLatencyP99)
+	fmt.Printf("avg packet latency: %.1f ns (p50 %.0f / p95 %.0f / p99 %.0f ns)\n",
+		res.AvgLatencyNS, res.LatencyP50NS, res.LatencyP95NS, res.LatencyP99NS)
 	fmt.Printf("packets measured:   %d (%.2f mean hops)\n", res.Packets, res.MeanHops)
 	fmt.Printf("transactions done:  %d\n", res.Completed)
 	fmt.Printf("arbitration resets: %d (collisions / wave losers)\n", res.Collisions)

@@ -1,16 +1,21 @@
 // Command standalone runs the single-router matching model for one
-// algorithm and configuration — the building block of Figures 8 and 9.
+// algorithm and configuration — the building block of Figures 8 and 9 —
+// through the Scenario/Runner API; -json dumps the machine-readable
+// Result document.
 //
 // Usage:
 //
 //	standalone [-alg SPAA|PIM|PIM1|WFA|MCM|OPF] [-load F] [-occupancy F]
-//	           [-cycles N] [-seed N]
+//	           [-cycles N] [-seed N] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"alpha21364"
 )
@@ -23,19 +28,33 @@ func main() {
 	occupancy := flag.Float64("occupancy", 0, "probability an output port is busy each cycle")
 	cycles := flag.Int("cycles", 1000, "iterations to average over")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "print the Result document as JSON instead of text")
 	flag.Parse()
 
-	kind, err := alpha21364.ParseKind(*alg)
+	spec := alpha21364.NewSpec(
+		alpha21364.WithName("standalone"),
+		alpha21364.WithArbiters(*alg),
+		alpha21364.WithStandaloneSweep(alpha21364.AxisLoad, *load),
+		alpha21364.WithCycles(*cycles),
+		alpha21364.WithSeed(*seed),
+	)
+	spec.Standalone.Occupancy = *occupancy
+
+	result, err := alpha21364.NewRunner().Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := alpha21364.DefaultStandaloneConfig(*load)
-	cfg.Occupancy = *occupancy
-	cfg.Cycles = *cycles
-	cfg.Seed = *seed
-
-	res := alpha21364.RunStandalone(kind, cfg)
-	fmt.Printf("algorithm:        %s\n", res.Algorithm)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	s := result.Series[0]
+	res := s.Points[0]
+	fmt.Printf("algorithm:        %s\n", s.Arbiter)
 	fmt.Printf("load:             %.3f pkts/port/cycle (occupancy %.2f)\n", *load, *occupancy)
 	fmt.Printf("matches/cycle:    %.3f\n", res.MatchesPerCycle)
 	fmt.Printf("offered/cycle:    %.3f\n", res.OfferedPerCycle)

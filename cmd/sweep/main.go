@@ -1,24 +1,32 @@
-// Command sweep regenerates the paper's figures, runs scenario matrices
-// over the pluggable workload suite, and records/replays injection
-// traces. It prints each table to stdout and, with -out, also writes CSV
-// files.
+// Command sweep is a thin shell over the Scenario/Runner API: it loads
+// and saves declarative simulation Specs, executes them through the
+// context-aware streaming Runner, regenerates the paper's figures (which
+// are canned Specs), runs scenario matrices, and records/replays
+// injection traces. It prints each table to stdout and, with -out, also
+// writes CSV files and machine-readable Result JSONL.
 //
 // Usage:
 //
+//	sweep -spec FILE [-out DIR] [-workers N] [-progress]
+//	sweep -emit-spec [-figure F | -matrix ... | -run ...]   > specs.json
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
 //	      [-workers N] [-progress]
 //	sweep -matrix [-algos A,B] [-patterns P,Q] [-processes X,Y] [-rates R1,R2]
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
 //	      [-record FILE | -replay FILE]
+//	sweep -bench [-out DIR]
 //	sweep -list
 //
-// Simulations within a figure or matrix are independent, so by default
-// they are fanned across one worker per CPU; results are byte-identical
-// to a serial (-workers 1) run.
+// Contradictory flag combinations (for example -record with -matrix, or
+// -replay with -pattern) are rejected with an error instead of silently
+// ignoring flags. Simulations within a figure or matrix are independent,
+// so by default they are fanned across one worker per CPU; results are
+// byte-identical to a serial (-workers 1) run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,12 +48,12 @@ func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate (all, 8, 9, 10, 10s, 11a, 11b, 11c)")
 	quick := flag.Bool("quick", false, "shorter runs and sparser sweeps")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	out := flag.String("out", "", "directory for CSV output (optional)")
+	out := flag.String("out", "", "directory for CSV/JSONL output (optional)")
 	plot := flag.Bool("plot", false, "also render ASCII BNF charts for timing panels")
-	verify := flag.Bool("verify", false, "rerun everything and check the paper's claims (ignores -figure)")
+	verify := flag.Bool("verify", false, "rerun everything and check the paper's claims")
 	markdown := flag.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
-	progress := flag.Bool("progress", false, "log each completed simulation job to stderr")
+	progress := flag.Bool("progress", false, "log Runner events (each completed simulation) to stderr")
 
 	list := flag.Bool("list", false, "list algorithms, patterns, processes, models, and figures, then exit")
 	matrix := flag.Bool("matrix", false, "run a scenario matrix (algorithms x patterns x processes x rates)")
@@ -63,27 +71,82 @@ func main() {
 	rate := flag.Float64("rate", 0.03, "injection rate for -run")
 	record := flag.String("record", "", "with -run, record the injection stream to this trace file")
 	replay := flag.String("replay", "", "with -run, replay a recorded trace instead of generating traffic")
+
+	specFile := flag.String("spec", "", "load a Spec (or Spec array) JSON file and run it through the Runner")
+	emitSpec := flag.Bool("emit-spec", false, "print the selected figure/matrix/run as Spec JSON instead of running")
+	bench := flag.Bool("bench", false, "run the benchmark smoke suite and write BENCH_*.json results")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	rejectContradictions(set)
+
 	o := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	var runnerOpts []experiment.RunnerOption
+	runnerOpts = append(runnerOpts, experiment.WithWorkers(*workers))
 	if *progress {
 		start := time.Now()
 		o.Progress = func(done, total int, label string) {
 			log.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
 		}
+		runnerOpts = append(runnerOpts, experiment.WithEventSink(func(e experiment.Event) {
+			elapsed := time.Since(start).Round(time.Second)
+			switch e.Type {
+			case experiment.EventRunStart:
+				log.Printf("[  0/%3d %6s] start %s", e.Total, elapsed, e.Label)
+			case experiment.EventPointDone:
+				log.Printf("[%3d/%3d %6s] %s", e.Done, e.Total, elapsed, e.Label)
+			case experiment.EventSeriesDone:
+				log.Printf("[%3d/%3d %6s] series done: %s", e.Done, e.Total, elapsed, e.Series)
+			}
+		}))
 	}
+
 	switch {
 	case *list:
 		printLists()
 		return
-	case *matrix:
-		if *record != "" || *replay != "" {
-			log.Fatal("-record/-replay apply to single runs; use -run")
+	case *emitSpec:
+		specs := specsFromFlags(o, *figure, *matrix, *runOne || *record != "" || *replay != "",
+			*algos, *patterns, *processes, *rates, *model, *size, *cycles,
+			*algo, *pattern, *process, *rate, *record, *replay)
+		data, err := experiment.EncodeSpecs(specs)
+		if err != nil {
+			log.Fatal(err)
 		}
-		runMatrix(o, *algos, *patterns, *processes, *rates, *model, *size, *cycles, *out)
+		os.Stdout.Write(data)
+		return
+	case *specFile != "":
+		specs, err := experiment.ReadSpecFile(*specFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSpecs(runnerOpts, specs, *out, *plot)
+		return
+	case *bench:
+		runBench(runnerOpts, *out)
+		return
+	case *matrix:
+		sp := matrixSpec(o, *algos, *patterns, *processes, *rates, *model, *size, *cycles)
+		start := time.Now()
+		res := runSpec(runnerOpts, sp)
+		tb := res.ScenarioTable()
+		fmt.Println(tb.Format())
+		writeCSV(*out, "scenario-matrix", tb)
+		writeJSONL(*out, "scenario-matrix", res)
+		points := 0
+		for _, s := range res.Series {
+			points += len(s.Points)
+		}
+		log.Printf("%d scenarios in %v", points, time.Since(start).Round(time.Second))
 		return
 	case *runOne || *record != "" || *replay != "":
-		runScenario(o, *algo, *pattern, *process, *model, *rate, *size, *cycles, *record, *replay)
+		sp := runSpecFromFlags(o, *algo, *pattern, *process, *model, *rate, *size, *cycles, *record, *replay)
+		start := time.Now()
+		res := runSpec(runnerOpts, sp)
+		printSingleRun(res, *size, *record, *replay)
+		writeJSONL(*out, "run", res)
+		log.Printf("done in %v", time.Since(start).Round(time.Second))
 		return
 	}
 	if *verify {
@@ -106,90 +169,305 @@ func main() {
 		log.Printf("%d/%d claims reproduced", len(verdicts)-bad, len(verdicts))
 		return
 	}
-	want := func(name string) bool { return *figure == "all" || *figure == name }
-	emitted := false
 
-	emit := func(name string, tb experiment.Table) {
-		emitted = true
-		fmt.Println(tb.Format())
-		writeCSV(*out, "figure"+name, tb)
+	// Figure mode: every figure is a set of canned Specs.
+	names := []string{*figure}
+	if *figure == "all" {
+		names = experiment.FigureSpecNames()
 	}
-	emitPanel := func(name string, p experiment.Panel) {
-		if *plot {
-			fmt.Println(p.Plot(72, 24))
-		}
-		emit(name, p.Table())
-	}
-	panelName := func(title string) string {
-		s := strings.ToLower(title)
-		s = strings.NewReplacer(" ", "-", ",", "", "(", "", ")", "", "/", "-").Replace(s)
-		return s
-	}
-
 	start := time.Now()
-	if want("8") {
-		f8, err := experiment.Figure8(o)
+	for _, name := range names {
+		specs, err := experiment.FigureSpecs(name, o)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit("8", f8.Table())
-	}
-	if want("9") {
-		f9, err := experiment.Figure9(o)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emit("9", f9.Table())
-	}
-	if want("10") {
-		panels, err := experiment.Figure10(o)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, p := range panels {
-			emitPanel("10-"+panelName(p.Title), p)
-		}
-	}
-	if want("10s") {
-		p, err := experiment.Figure10Saturation(o)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emitPanel("10s-"+panelName(p.Title), p)
-	}
-	type panelFn struct {
-		name string
-		fn   func(experiment.Options) (experiment.Panel, error)
-	}
-	for _, pf := range []panelFn{
-		{"11a", experiment.Figure11a},
-		{"11b", experiment.Figure11b},
-		{"11c", experiment.Figure11c},
-	} {
-		if !want(pf.name) {
-			continue
-		}
-		p, err := pf.fn(o)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emitPanel(pf.name, p)
-	}
-	if !emitted {
-		log.Fatalf("unknown figure %q (want all, 8, 9, 10, 10s, 11a, 11b, 11c)", *figure)
+		runFigureSpecs(runnerOpts, name, specs, *out, *plot)
 	}
 	log.Printf("done in %v", time.Since(start).Round(time.Second))
 }
 
-// figureNames lists the -figure values printed by -list.
-var figureNames = []string{"8", "9", "10", "10s", "11a", "11b", "11c"}
+// rejectContradictions fails fast on flag combinations where one flag
+// would silently override or ignore another.
+func rejectContradictions(set map[string]bool) {
+	conflict := func(a, b, why string) {
+		if set[a] && set[b] {
+			log.Fatalf("-%s and -%s are contradictory: %s", a, b, why)
+		}
+	}
+	// -spec fully describes the work; every selection flag contradicts it.
+	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
+		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay"} {
+		conflict("spec", f, "a spec file fixes the whole scenario; edit the file instead")
+	}
+	conflict("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly")
+	conflict("emit-spec", "verify", "claim verification has no single spec form")
+	conflict("emit-spec", "bench", "the bench suite is fixed; run it directly")
+	// Replay fixes the injection stream; generative knobs contradict it.
+	for _, f := range []string{"pattern", "rate", "process", "model"} {
+		conflict("replay", f, "a replayed trace fixes the injection stream")
+	}
+	conflict("record", "replay", "a run either records or replays, not both")
+	// Mode selectors are mutually exclusive.
+	conflict("matrix", "run", "pick one mode")
+	conflict("matrix", "figure", "pick one mode")
+	conflict("matrix", "verify", "pick one mode")
+	conflict("run", "figure", "pick one mode")
+	conflict("run", "verify", "pick one mode")
+	conflict("figure", "verify", "claim verification always reruns every figure")
+	conflict("bench", "figure", "the bench suite is fixed")
+	conflict("bench", "matrix", "the bench suite is fixed")
+	conflict("bench", "run", "the bench suite is fixed")
+	conflict("bench", "verify", "the bench suite is fixed")
+	// Trace I/O belongs to single runs.
+	for _, f := range []string{"record", "replay"} {
+		conflict("matrix", f, "trace record/replay applies to single runs; use -run")
+		conflict("figure", f, "trace record/replay applies to single runs; use -run")
+	}
+	// Single-run vs matrix axis flags.
+	for _, pair := range [][2]string{
+		{"run", "algos"}, {"run", "patterns"}, {"run", "processes"}, {"run", "rates"},
+		{"matrix", "algo"}, {"matrix", "pattern"}, {"matrix", "process"}, {"matrix", "rate"},
+	} {
+		conflict(pair[0], pair[1], "that axis flag belongs to the other mode")
+	}
+}
+
+// specsFromFlags builds the Spec(s) the current flags describe, for
+// -emit-spec.
+func specsFromFlags(o experiment.Options, figure string, matrix, runOne bool,
+	algos, patterns, processes, rates, model, size string, cycles int,
+	algo, pattern, process string, rate float64, record, replay string) []experiment.Spec {
+	switch {
+	case matrix:
+		return []experiment.Spec{matrixSpec(o, algos, patterns, processes, rates, model, size, cycles)}
+	case runOne:
+		return []experiment.Spec{runSpecFromFlags(o, algo, pattern, process, model, rate, size, cycles, record, replay)}
+	default:
+		specs, err := experiment.FigureSpecs(figure, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return specs
+	}
+}
+
+// newRunner builds the Runner all modes share.
+func newRunner(opts []experiment.RunnerOption) *experiment.Runner {
+	return experiment.NewRunner(opts...)
+}
+
+// runSpec executes one spec, dying on failure.
+func runSpec(opts []experiment.RunnerOption, sp experiment.Spec) *experiment.Result {
+	res, err := newRunner(opts).Run(context.Background(), sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// runSpecs executes loaded spec files, printing each table.
+func runSpecs(opts []experiment.RunnerOption, specs []experiment.Spec, out string, plot bool) {
+	start := time.Now()
+	for i, sp := range specs {
+		res := runSpec(opts, sp)
+		if plot && sp.Mode != experiment.ModeStandalone {
+			p := res.Panel()
+			fmt.Println(p.Plot(72, 24))
+		}
+		fmt.Println(res.Table().Format())
+		name := specSlug(sp, i)
+		writeCSV(out, name, res.Table())
+		writeJSONL(out, name, res)
+	}
+	log.Printf("%d spec(s) in %v", len(specs), time.Since(start).Round(time.Second))
+}
+
+// runFigureSpecs executes one figure's canned specs with the historical
+// per-figure CSV naming: figure8.csv, figure10-<panel>.csv, figure11a.csv.
+func runFigureSpecs(opts []experiment.RunnerOption, figure string, specs []experiment.Spec, out string, plot bool) {
+	for i, sp := range specs {
+		res := runSpec(opts, sp)
+		if plot && sp.Mode != experiment.ModeStandalone {
+			fmt.Println(res.Panel().Plot(72, 24))
+		}
+		var tb experiment.Table
+		if sp.Mode == experiment.ModeStandalone {
+			// Keep the historical Figure 8/9 table layout.
+			switch sp.Name {
+			case "Figure 8":
+				f8 := experiment.Figure8Result{
+					LoadFractions:  sp.Standalone.Values,
+					SaturationLoad: res.SaturationLoad,
+					Curves:         res.Curves(),
+				}
+				tb = f8.Table()
+			default:
+				f9 := experiment.Figure9Result{
+					Occupancies: sp.Standalone.Values,
+					Curves:      res.Curves(),
+				}
+				tb = f9.Table()
+			}
+		} else {
+			tb = res.Panel().Table()
+		}
+		fmt.Println(tb.Format())
+		name := "figure" + figure
+		if len(specs) > 1 {
+			name += "-" + specSlug(sp, i)
+		}
+		writeCSV(out, name, tb)
+		writeJSONL(out, name, res)
+	}
+}
+
+// specSlug derives a filesystem-friendly name for a spec's outputs.
+func specSlug(sp experiment.Spec, i int) string {
+	s := sp.Name
+	if s == "" {
+		s = fmt.Sprintf("spec-%d", i+1)
+	}
+	s = strings.ToLower(s)
+	s = strings.NewReplacer(" ", "-", ",", "", "(", "", ")", "", "/", "-").Replace(s)
+	return s
+}
+
+// printSingleRun prints the one-line summary of a single-scenario spec.
+func printSingleRun(res *experiment.Result, size, record, replay string) {
+	if len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
+		log.Fatal("no result point")
+	}
+	s := res.Series[0]
+	p := s.Points[0]
+	what := fmt.Sprintf("%s/%s/%s/%s @ %g", s.Arbiter, s.Pattern, s.Process, modelName(s.Model), p.Rate)
+	if replay != "" {
+		what = fmt.Sprintf("%s replaying %s", s.Arbiter, replay)
+	}
+	fmt.Printf("%s on %s: %.4f flits/router/ns @ %.1f ns avg (p50 %.0f / p95 %.0f / p99 %.0f ns), %d packets, %d txns\n",
+		what, size, p.Throughput, p.AvgLatencyNS, p.LatencyP50NS, p.LatencyP95NS, p.LatencyP99NS, p.Packets, p.Completed)
+	if record != "" {
+		log.Printf("recorded trace to %s", record)
+	}
+}
+
+func modelName(m string) string {
+	if m == "" {
+		return "coherence"
+	}
+	return m
+}
+
+// runBench runs the benchmark smoke suite: short canned specs timed by
+// the Runner, written as BENCH_*.json artifacts through the Result
+// encoder — the start of the perf trajectory.
+func runBench(opts []experiment.RunnerOption, out string) {
+	if out == "" {
+		out = "."
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	o := experiment.Options{Quick: true, Seed: 1, MaxRatePoints: 3, CyclesOverride: 4000}
+	fig8, err := experiment.FigureSpecs("8", o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timing := experiment.NewSpec(
+		experiment.WithName("bench 4x4 sweep"),
+		experiment.WithTopology(4, 4),
+		experiment.WithArbiters("SPAA-rotary", "PIM1"),
+		experiment.WithRates(0.01, 0.03),
+		experiment.WithCycles(4000),
+		experiment.WithSeed(1),
+	)
+	for _, sp := range append(fig8, timing) {
+		start := time.Now()
+		res := runSpec(opts, sp)
+		path := filepath.Join(out, "BENCH_"+specSlug(sp, 0)+".json")
+		if err := res.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: %v -> %s", sp.Name, time.Since(start).Round(time.Millisecond), path)
+	}
+}
+
+// matrixSpec parses the -matrix flags into a Spec.
+func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, size string, cycles int) experiment.Spec {
+	var kinds []core.Kind
+	for _, name := range splitList(algos) {
+		k, err := core.ParseKind(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+	var pats []traffic.Pattern
+	for _, name := range splitList(patterns) {
+		p, err := traffic.ParsePattern(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pats = append(pats, p)
+	}
+	procs := splitList(processes)
+	var rs []float64
+	for _, f := range splitList(rates) {
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			log.Fatalf("invalid rate %q", f)
+		}
+		rs = append(rs, r)
+	}
+	if len(kinds) == 0 || len(pats) == 0 || len(procs) == 0 || len(rs) == 0 {
+		log.Fatal("matrix needs at least one algorithm, pattern, process, and rate")
+	}
+	base := baseSetup(o, size, cycles, o.Seed)
+	base.Model = model
+	sp := experiment.MatrixSpec(base, kinds, pats, procs, rs)
+	sp.Name = "Scenario matrix"
+	if err := sp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return sp
+}
+
+// runSpecFromFlags parses the -run flags into a single-scenario Spec.
+func runSpecFromFlags(o experiment.Options, algo, pattern, process, model string,
+	rate float64, size string, cycles int, record, replay string) experiment.Spec {
+	base := baseSetup(o, size, cycles, o.Seed)
+	opts := []experiment.SpecOption{
+		experiment.WithName("run"),
+		experiment.WithTopology(base.Width, base.Height),
+		experiment.WithArbiters(algo),
+		experiment.WithCycles(base.Cycles),
+		experiment.WithSeed(base.Seed),
+	}
+	if replay != "" {
+		opts = append(opts, experiment.WithReplay(replay))
+	} else {
+		opts = append(opts,
+			experiment.WithPatterns(pattern),
+			experiment.WithProcesses(process),
+			experiment.WithModel(model),
+			experiment.WithRates(rate),
+		)
+		if record != "" {
+			opts = append(opts, experiment.WithRecord(record))
+		}
+	}
+	sp := experiment.NewSpec(opts...)
+	if err := sp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return sp
+}
 
 func printLists() {
 	fmt.Println("algorithms:", strings.Join(core.KindNames(), ", "))
 	fmt.Println("patterns:  ", strings.Join(traffic.PatternNames(), ", "))
 	fmt.Println("processes: ", strings.Join(workload.ProcessNames(), ", "))
 	fmt.Println("models:    ", strings.Join(workload.ModelNames(), ", "))
-	fmt.Println("figures:   ", strings.Join(figureNames, ", "))
+	fmt.Println("figures:   ", strings.Join(experiment.FigureSpecNames(), ", "))
 }
 
 func writeCSV(dir, name string, tb experiment.Table) {
@@ -201,6 +479,29 @@ func writeCSV(dir, name string, tb experiment.Table) {
 	}
 	path := filepath.Join(dir, name+".csv")
 	if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// writeJSONL writes the machine-readable Result stream next to the CSV.
+func writeJSONL(dir, name string, res *experiment.Result) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.EncodeJSONL(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", path)
@@ -236,93 +537,4 @@ func baseSetup(o experiment.Options, size string, cycles int, seed uint64) exper
 		cycles = o.TimingCycles()
 	}
 	return experiment.TimingSetup{Width: w, Height: h, Cycles: cycles, Seed: seed}
-}
-
-func runMatrix(o experiment.Options, algos, patterns, processes, rates, model, size string, cycles int, out string) {
-	var kinds []core.Kind
-	for _, name := range splitList(algos) {
-		k, err := core.ParseKind(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		kinds = append(kinds, k)
-	}
-	var pats []traffic.Pattern
-	for _, name := range splitList(patterns) {
-		p, err := traffic.ParsePattern(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pats = append(pats, p)
-	}
-	procs := splitList(processes)
-	for _, name := range procs {
-		if _, err := workload.NewProcess(name, 0); err != nil {
-			log.Fatal(err)
-		}
-	}
-	var rs []float64
-	for _, f := range splitList(rates) {
-		r, err := strconv.ParseFloat(f, 64)
-		if err != nil || r <= 0 {
-			log.Fatalf("invalid rate %q", f)
-		}
-		rs = append(rs, r)
-	}
-	if len(kinds) == 0 || len(pats) == 0 || len(procs) == 0 || len(rs) == 0 {
-		log.Fatal("matrix needs at least one algorithm, pattern, process, and rate")
-	}
-	if _, err := workload.NewModel(model); err != nil {
-		log.Fatal(err)
-	}
-	base := baseSetup(o, size, cycles, o.Seed)
-	base.Model = model
-	start := time.Now()
-	results, err := experiment.ScenarioMatrix(o, base, kinds, pats, procs, rs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tb := experiment.ScenarioTable(results)
-	fmt.Println(tb.Format())
-	writeCSV(out, "scenario-matrix", tb)
-	log.Printf("%d scenarios in %v", len(results), time.Since(start).Round(time.Second))
-}
-
-func runScenario(o experiment.Options, algo, pattern, process, model string, rate float64, size string, cycles int, record, replay string) {
-	if record != "" && replay != "" {
-		log.Fatal("-record and -replay are mutually exclusive")
-	}
-	k, err := core.ParseKind(algo)
-	if err != nil {
-		log.Fatal(err)
-	}
-	setup := baseSetup(o, size, cycles, o.Seed)
-	setup.Kind = k
-	setup.Rate = rate
-	setup.Process = process
-	setup.Model = model
-	setup.RecordTo = record
-	setup.ReplayFrom = replay
-	if replay == "" {
-		p, err := traffic.ParsePattern(pattern)
-		if err != nil {
-			log.Fatal(err)
-		}
-		setup.Pattern = p
-	}
-	start := time.Now()
-	res, err := experiment.RunTiming(setup)
-	if err != nil {
-		log.Fatal(err)
-	}
-	what := fmt.Sprintf("%v/%v/%s/%s @ %g", k, setup.Pattern, process, model, rate)
-	if replay != "" {
-		what = fmt.Sprintf("%v replaying %s", k, replay)
-	}
-	fmt.Printf("%s on %s: %.4f flits/router/ns @ %.1f ns avg (p99 %.1f ns), %d packets, %d txns\n",
-		what, size, res.Throughput, res.AvgLatencyNS, res.AvgLatencyP99, res.Packets, res.Completed)
-	if record != "" {
-		log.Printf("recorded trace to %s", record)
-	}
-	log.Printf("done in %v", time.Since(start).Round(time.Second))
 }

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -13,7 +14,6 @@ import (
 	"alpha21364/internal/network"
 	"alpha21364/internal/router"
 	"alpha21364/internal/sim"
-	"alpha21364/internal/standalone"
 	"alpha21364/internal/stats"
 	"alpha21364/internal/topology"
 	"alpha21364/internal/traffic"
@@ -44,6 +44,9 @@ type Options struct {
 	// between sibling sweeps (see Options.limited in runner.go).
 	sem   chan struct{}
 	abort *atomic.Bool
+	// ctx, when non-nil, halts job dispatch once cancelled; Runner.run
+	// sets it from its caller's context.
+	ctx context.Context
 }
 
 // TimingCycles returns the per-run router cycle count.
@@ -163,10 +166,19 @@ func (s TimingSetup) workloadConfig(t topology.Torus, period sim.Ticks) (workloa
 // TimingResult is one BNF point plus diagnostic counters.
 type TimingResult struct {
 	stats.Point
-	Completed     int64
-	DrainEntries  int64
-	Collisions    int64
-	MeanHops      float64
+	Completed    int64
+	DrainEntries int64
+	Collisions   int64
+	MeanHops     float64
+	// LatencyP50NS, LatencyP95NS, and LatencyP99NS are histogram-derived
+	// upper bounds on the packet-latency quantiles, in nanoseconds.
+	LatencyP50NS float64
+	LatencyP95NS float64
+	LatencyP99NS float64
+	// AvgLatencyP99 mirrors LatencyP99NS.
+	//
+	// Deprecated: the name is misleading — the value is a p99 latency,
+	// not an average. Use LatencyP99NS.
 	AvgLatencyP99 float64
 	// EpochFlits and ThroughputCoV are filled when TimingSetup.EpochCycles
 	// is set: delivered flits per epoch and the coefficient of variation
@@ -175,9 +187,21 @@ type TimingResult struct {
 	ThroughputCoV float64
 }
 
+// cancelPollCycles is how often (in router cycles) a context-supervised
+// timing run polls for cancellation; it bounds how stale a cancel can go
+// unnoticed inside one simulation.
+const cancelPollCycles = 512
+
 // RunTiming executes one timing simulation and returns its BNF point.
 func RunTiming(s TimingSetup) (TimingResult, error) {
-	return RunTimingWithRouter(s, nil)
+	return runTiming(nil, s, nil)
+}
+
+// RunTimingCtx is RunTiming under a context: cancellation stops the
+// simulation within cancelPollCycles router cycles and returns the
+// context's error. A nil context behaves like RunTiming.
+func RunTimingCtx(ctx context.Context, s TimingSetup) (TimingResult, error) {
+	return runTiming(ctx, s, nil)
 }
 
 // RunTimingWithRouter is RunTiming with a hook that may adjust the router
@@ -185,6 +209,10 @@ func RunTiming(s TimingSetup) (TimingResult, error) {
 // it to vary pipeline depth and initiation interval independently of the
 // per-algorithm defaults.
 func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResult, error) {
+	return runTiming(nil, s, mutate)
+}
+
+func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) (TimingResult, error) {
 	rcfg := router.DefaultConfig(s.Kind)
 	rcfg.Seed = s.Seed
 	if s.ScalePipeline {
@@ -219,7 +247,28 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 	}
 	gen := workload.New(wcfg, net, eng, col)
 	eng.AddClock(rcfg.RouterPeriod, 0, gen)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return TimingResult{}, err
+		}
+		// A self-rescheduling no-op event polls the context; it never
+		// mutates simulation state, so an uncancelled supervised run stays
+		// byte-identical to an unsupervised one.
+		interval := sim.Ticks(cancelPollCycles) * rcfg.RouterPeriod
+		var poll func()
+		poll = func() {
+			if ctx.Err() != nil {
+				eng.Stop()
+				return
+			}
+			eng.ScheduleDelay(interval, poll)
+		}
+		eng.ScheduleDelay(interval, poll)
+	}
 	eng.Run(end)
+	if ctx != nil && ctx.Err() != nil {
+		return TimingResult{}, ctx.Err()
+	}
 	if wcfg.Record != nil {
 		if err := wcfg.Record.WriteFile(s.RecordTo); err != nil {
 			return TimingResult{}, err
@@ -229,13 +278,17 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 	point := col.BNF(net.Nodes(), end)
 	point.OfferedRate = s.Rate
 	c := net.TotalCounters()
+	lat := col.LatencySummaryNS()
 	res := TimingResult{
 		Point:         point,
 		Completed:     gen.Completed(),
 		DrainEntries:  c.DrainEntries,
 		Collisions:    c.Collisions,
 		MeanHops:      col.MeanHops(),
-		AvgLatencyP99: col.PercentileLatencyNS(0.99),
+		LatencyP50NS:  lat.P50NS,
+		LatencyP95NS:  lat.P95NS,
+		LatencyP99NS:  lat.P99NS,
+		AvgLatencyP99: lat.P99NS,
 	}
 	if epochs != nil {
 		res.EpochFlits = epochs.Values()
@@ -247,9 +300,45 @@ func RunTimingWithRouter(s TimingSetup, mutate func(*router.Config)) (TimingResu
 	return res, nil
 }
 
+// specFromSetup lifts a hand-built TimingSetup (the deprecated API) into
+// a declarative Spec covering the given algorithms and rate sweep; the
+// adapters keeping the old entry points alive run it through a Runner.
+func specFromSetup(name string, s TimingSetup, kinds []core.Kind, rates []float64) Spec {
+	sp := Spec{
+		Version:  SpecVersion,
+		Name:     name,
+		Arbiters: kindNames(kinds),
+		Topology: &TopologySpec{Width: s.Width, Height: s.Height},
+		Workload: &WorkloadSpec{MaxOutstanding: s.MaxOutstanding},
+		Timing: &TimingSpec{
+			Cycles:         s.Cycles,
+			WarmupFraction: s.WarmupFraction,
+			Seed:           s.Seed,
+			ScalePipeline:  s.ScalePipeline,
+			EpochCycles:    s.EpochCycles,
+		},
+	}
+	if s.ReplayFrom != "" {
+		sp.Workload.ReplayFrom = s.ReplayFrom
+		return sp
+	}
+	sp.Workload.Patterns = []string{s.Pattern.String()}
+	if s.Process != "" {
+		sp.Workload.Processes = []string{s.Process}
+	}
+	sp.Workload.Model = s.Model
+	sp.Workload.Rates = append([]float64(nil), rates...)
+	sp.Workload.RecordTo = s.RecordTo
+	return sp
+}
+
 // Sweep runs a load sweep for one algorithm and returns its BNF curve.
 // The rates are simulated concurrently (one worker per CPU); use SweepOpts
 // to bound or disable the parallelism.
+//
+// Deprecated: build a Spec (NewSpec/WithRates) and execute it with a
+// Runner, which adds cancellation, streaming events, and a serializable
+// Result. This adapter remains for compatibility.
 func Sweep(s TimingSetup, rates []float64) (stats.Series, error) {
 	return SweepOpts(Options{}, s, rates)
 }
@@ -257,30 +346,21 @@ func Sweep(s TimingSetup, rates []float64) (stats.Series, error) {
 // SweepOpts is Sweep with explicit runner options (worker count and
 // progress reporting). Only those two fields of o are consulted; the
 // simulation itself is fully described by s.
+//
+// Deprecated: use a Runner (NewRunner, WithWorkers, WithEventSink); see
+// Sweep.
 func SweepOpts(o Options, s TimingSetup, rates []float64) (stats.Series, error) {
 	series := stats.Series{Label: s.Kind.String()}
-	points, firstBad, err := runJobs(o, sweepJobs("sweep", s, rates))
-	series.Points = append(series.Points, points[:firstBad]...)
-	return series, err
-}
-
-// sweepJobs expands one algorithm's load sweep into runner jobs. Each
-// job's TimingSetup — rate, seed, and all — is fixed here, before any
-// simulation starts, so results cannot depend on execution order.
-func sweepJobs(title string, s TimingSetup, rates []float64) []jobSpec[stats.Point] {
-	jobs := make([]jobSpec[stats.Point], len(rates))
-	for i, r := range rates {
-		setup := s
-		setup.Rate = r
-		jobs[i] = jobSpec[stats.Point]{
-			label: fmt.Sprintf("%s / %v @ %g", title, setup.Kind, r),
-			run: func() (stats.Point, error) {
-				res, err := RunTiming(setup)
-				return res.Point, err
-			},
+	if len(rates) == 0 {
+		return series, nil
+	}
+	res, err := optionsRunner(o).Run(context.Background(), specFromSetup("sweep", s, []core.Kind{s.Kind}, rates))
+	if res != nil && len(res.Series) > 0 {
+		for _, pt := range res.Series[0].Points {
+			series.Points = append(series.Points, pt.statsPoint())
 		}
 	}
-	return jobs
+	return series, err
 }
 
 // Panel is one BNF chart: several algorithms swept over the same loads.
@@ -290,34 +370,52 @@ type Panel struct {
 	Series []stats.Series
 }
 
-// runPanel sweeps each algorithm over the panel's rates. The kinds×rates
-// grid is flattened into one job list so the worker pool stays saturated
-// across algorithm boundaries; assembly is by (kind, rate) index, so the
-// panel is identical however the jobs are scheduled.
+// runPanel sweeps each algorithm over the panel's rates through the
+// Runner: the kinds×rates grid is one Spec, so the worker pool stays
+// saturated across algorithm boundaries, and assembly by (kind, rate)
+// index keeps the panel identical however the jobs are scheduled.
 func runPanel(title string, o Options, base TimingSetup, kinds []core.Kind, rates []float64) (Panel, error) {
-	p := Panel{Title: title, Rates: rates}
 	if len(rates) == 0 {
+		p := Panel{Title: title, Rates: rates}
 		for _, k := range kinds {
 			p.Series = append(p.Series, stats.Series{Label: k.String()})
 		}
 		return p, nil
 	}
-	var jobs []jobSpec[stats.Point]
-	for _, k := range kinds {
-		s := base
-		s.Kind = k
-		jobs = append(jobs, sweepJobs(title, s, rates)...)
+	res, err := optionsRunner(o).Run(context.Background(), specFromSetup(title, base, kinds, rates))
+	return figurePanel(title, res, err)
+}
+
+// figurePanel converts a Runner result to the old Panel contract: on
+// failure only complete series survive and the error names the panel and
+// the algorithm whose sweep broke.
+func figurePanel(title string, res *Result, err error) (Panel, error) {
+	if res == nil {
+		return Panel{Title: title}, fmt.Errorf("%s: %w", title, err)
 	}
-	points, firstBad, err := runJobs(o, jobs)
-	completeKinds := firstBad / len(rates)
-	for ki := 0; ki < completeKinds; ki++ {
-		p.Series = append(p.Series, stats.Series{
-			Label:  kinds[ki].String(),
-			Points: points[ki*len(rates) : (ki+1)*len(rates)],
-		})
+	p := Panel{Title: title}
+	if res.Spec.Workload != nil {
+		p.Rates = append(p.Rates, res.Spec.Workload.Rates...)
+	}
+	failing := ""
+	for _, s := range res.Series {
+		if len(s.Points) < len(p.Rates) {
+			if failing == "" {
+				failing = s.Arbiter
+			}
+			continue
+		}
+		series := stats.Series{Label: s.Label}
+		for _, pt := range s.Points {
+			series.Points = append(series.Points, pt.statsPoint())
+		}
+		p.Series = append(p.Series, series)
 	}
 	if err != nil {
-		return p, fmt.Errorf("%s / %v: %w", title, kinds[completeKinds], err)
+		if failing != "" {
+			return p, fmt.Errorf("%s / %s: %w", title, failing, err)
+		}
+		return p, fmt.Errorf("%s: %w", title, err)
 	}
 	return p, nil
 }
@@ -362,27 +460,23 @@ func (o Options) rates(full []float64) []float64 {
 	return out
 }
 
-// Figure10 reproduces the four BNF panels of Figure 10.
+// runFigureSpec executes one canned figure Spec under the deprecated
+// Options plumbing and converts it to the old Panel contract.
+func runFigureSpec(o Options, sp Spec) (Panel, error) {
+	res, err := optionsRunner(o).Run(context.Background(), sp)
+	return figurePanel(sp.Name, res, err)
+}
+
+// Figure10 reproduces the four BNF panels of Figure 10. Each panel is a
+// canned Spec (FigureSpecs("10", o)) executed by a Runner.
 func Figure10(o Options) ([]Panel, error) {
-	type panelDef struct {
-		title   string
-		w, h    int
-		pattern traffic.Pattern
-		rates   []float64
-	}
-	defs := []panelDef{
-		{"4x4, Random Traffic", 4, 4, traffic.Uniform, Rates4x4},
-		{"8x8, Random Traffic", 8, 8, traffic.Uniform, Rates8x8},
-		{"8x8, Bit Reversal", 8, 8, traffic.BitReversal, Rates8x8},
-		{"8x8, Perfect Shuffle", 8, 8, traffic.PerfectShuffle, Rates8x8},
+	specs, err := FigureSpecs("10", o)
+	if err != nil {
+		return nil, err
 	}
 	var panels []Panel
-	for _, d := range defs {
-		base := TimingSetup{
-			Width: d.w, Height: d.h, Pattern: d.pattern,
-			Cycles: o.TimingCycles(), Seed: o.seed(),
-		}
-		p, err := runPanel(d.title, o, base, Figure10Kinds, o.rates(d.rates))
+	for _, sp := range specs {
+		p, err := runFigureSpec(o, sp)
 		if err != nil {
 			return panels, err
 		}
@@ -403,39 +497,25 @@ func Figure10(o Options) ([]Panel, error) {
 // WFA-base/SPAA-base/PIM1 while the Rotary Rule variants hold their peak
 // throughput. See EXPERIMENTS.md for the discussion.
 func Figure10Saturation(o Options) (Panel, error) {
-	base := TimingSetup{
-		Width: 8, Height: 8, Pattern: traffic.Uniform,
-		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
-	}
-	return runPanel("8x8, Random Traffic, 64 outstanding (saturation companion)",
-		o, base, Figure10Kinds, o.rates(Rates8x8))
+	return figureFromSpec(o, "10s")
 }
 
 // Figure11a reproduces the 2x-pipeline scaling study (8x8 random).
-func Figure11a(o Options) (Panel, error) {
-	base := TimingSetup{
-		Width: 8, Height: 8, Pattern: traffic.Uniform,
-		ScalePipeline: true, Cycles: o.TimingCycles() * 2, Seed: o.seed(),
-	}
-	return runPanel("2x Pipeline, 8x8, Random Traffic", o, base, Figure11Kinds, o.rates(Rates8x8))
-}
+func Figure11a(o Options) (Panel, error) { return figureFromSpec(o, "11a") }
 
 // Figure11b reproduces the 64-outstanding-miss study (8x8 random).
-func Figure11b(o Options) (Panel, error) {
-	base := TimingSetup{
-		Width: 8, Height: 8, Pattern: traffic.Uniform,
-		MaxOutstanding: 64, Cycles: o.TimingCycles(), Seed: o.seed(),
-	}
-	return runPanel("64 requests, 8x8, Random Traffic", o, base, Figure11Kinds, o.rates(Rates8x8))
-}
+func Figure11b(o Options) (Panel, error) { return figureFromSpec(o, "11b") }
 
 // Figure11c reproduces the 12x12 (144-processor) scaling study.
-func Figure11c(o Options) (Panel, error) {
-	base := TimingSetup{
-		Width: 12, Height: 12, Pattern: traffic.Uniform,
-		Cycles: o.TimingCycles(), Seed: o.seed(),
+func Figure11c(o Options) (Panel, error) { return figureFromSpec(o, "11c") }
+
+// figureFromSpec runs a single-panel canned figure.
+func figureFromSpec(o Options, name string) (Panel, error) {
+	specs, err := FigureSpecs(name, o)
+	if err != nil {
+		return Panel{}, err
 	}
-	return runPanel("12x12, Random Traffic", o, base, Figure11Kinds, o.rates(Rates12x12))
+	return runFigureSpec(o, specs[0])
 }
 
 // StandaloneCurve is one algorithm's standalone match-rate curve.
@@ -461,49 +541,18 @@ var Figure8Kinds = []core.Kind{
 // possible error is a sweep aborted by a concurrent failure elsewhere in
 // a shared fan-out (CollectDataset).
 func Figure8(o Options) (Figure8Result, error) {
-	cfg := standalone.DefaultConfig(0)
-	cfg.Cycles = o.StandaloneCycles()
-	cfg.Seed = o.seed()
-	sat := standalone.MCMSaturationLoad(cfg)
-	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	res := Figure8Result{LoadFractions: fractions, SaturationLoad: sat}
-	var err error
-	res.Curves, err = standaloneGrid(o, "figure 8", fractions, func(k core.Kind, f float64) float64 {
-		c := cfg
-		c.Load = f * sat
-		return standalone.Run(k, c).MatchesPerCycle
-	})
-	return res, err
-}
-
-// standaloneGrid runs a Figure8Kinds × axis grid of standalone simulations
-// through the runner and assembles one curve per algorithm. run must be a
-// pure function of its arguments (every call builds its own Config copy).
-// The jobs themselves are infallible, so the returned error can only be
-// an abort from a sibling sweep — in which case the curves are incomplete
-// and must be discarded.
-func standaloneGrid(o Options, title string, axis []float64, run func(core.Kind, float64) float64) ([]StandaloneCurve, error) {
-	var jobs []jobSpec[float64]
-	for _, k := range Figure8Kinds {
-		for _, x := range axis {
-			jobs = append(jobs, jobSpec[float64]{
-				label: fmt.Sprintf("%s / %v @ %g", title, k, x),
-				run:   func() (float64, error) { return run(k, x), nil },
-			})
-		}
+	specs, _ := FigureSpecs("8", o)
+	sp := specs[0]
+	run, err := optionsRunner(o).Run(context.Background(), sp)
+	res := Figure8Result{LoadFractions: sp.Standalone.Values}
+	if run != nil {
+		res.SaturationLoad = run.SaturationLoad
 	}
-	values, _, err := runJobs(o, jobs)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", title, err)
+		return res, fmt.Errorf("figure 8: %w", err)
 	}
-	curves := make([]StandaloneCurve, len(Figure8Kinds))
-	for ki, k := range Figure8Kinds {
-		curves[ki] = StandaloneCurve{
-			Label:  k.String(),
-			Values: values[ki*len(axis) : (ki+1)*len(axis)],
-		}
-	}
-	return curves, nil
+	res.Curves = run.Curves()
+	return res, nil
 }
 
 // Figure9Result holds the occupancy sweep at the MCM saturation load.
@@ -515,17 +564,13 @@ type Figure9Result struct {
 // Figure9 reproduces the output-port occupancy sweep. As with Figure8,
 // the only possible error is a sweep aborted by a shared fan-out.
 func Figure9(o Options) (Figure9Result, error) {
-	cfg := standalone.DefaultConfig(0)
-	cfg.Cycles = o.StandaloneCycles()
-	cfg.Seed = o.seed()
-	cfg.Load = standalone.MCMSaturationLoad(cfg)
-	occupancies := []float64{0, 0.25, 0.5, 0.75}
-	res := Figure9Result{Occupancies: occupancies}
-	var err error
-	res.Curves, err = standaloneGrid(o, "figure 9", occupancies, func(k core.Kind, occ float64) float64 {
-		c := cfg
-		c.Occupancy = occ
-		return standalone.Run(k, c).MatchesPerCycle
-	})
-	return res, err
+	specs, _ := FigureSpecs("9", o)
+	sp := specs[0]
+	run, err := optionsRunner(o).Run(context.Background(), sp)
+	res := Figure9Result{Occupancies: sp.Standalone.Values}
+	if err != nil {
+		return res, fmt.Errorf("figure 9: %w", err)
+	}
+	res.Curves = run.Curves()
+	return res, nil
 }

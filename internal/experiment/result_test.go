@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickStandaloneSpec is a deterministic, fast spec for schema tests.
+func quickStandaloneSpec() Spec {
+	return NewSpec(
+		WithName("schema probe"),
+		WithArbiters("MCM", "PIM1"),
+		WithStandaloneSweep(AxisLoad, 0.5, 1.0, 2.0),
+		WithCycles(50),
+		WithSeed(1),
+	)
+}
+
+func runQuickResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := NewRunner(WithWorkers(1)).Run(context.Background(), quickStandaloneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ElapsedNS = 0 // the one nondeterministic field
+	return res
+}
+
+func TestResultJSONLRoundTrip(t *testing.T) {
+	res := runQuickResult(t)
+	var buf bytes.Buffer
+	if err := res.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResultJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("JSONL round-trip changed the result:\ngot  %+v\nwant %+v", back, res)
+	}
+}
+
+func TestResultGoldenJSONL(t *testing.T) {
+	res := runQuickResult(t)
+	var buf bytes.Buffer
+	if err := res.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "standalone.result.jsonl", buf.Bytes())
+}
+
+func TestResultFileRoundTrip(t *testing.T) {
+	res := runQuickResult(t)
+	path := filepath.Join(t.TempDir(), "result.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("file round-trip changed the result")
+	}
+}
+
+func TestDecodeResultJSONLStrict(t *testing.T) {
+	res := runQuickResult(t)
+	var buf bytes.Buffer
+	if err := res.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", "", "empty"},
+		{"unknown version", strings.Replace(good, `"version":1`, `"version":7`, 1), "version"},
+		{"unknown record type", strings.Replace(good, `"type":"series"`, `"type":"serie"`, 1), "unknown record type"},
+		{"unknown field", strings.Replace(good, `"type":"point"`, `"type":"point","extra":1`, 1), "unknown field"},
+		{"point before series", strings.Replace(good, `"type":"series"`, `"type":"point","series":"x","point":{}`, 1), ""},
+		{"no header", strings.TrimPrefix(good, good[:strings.Index(good, "\n")+1]), "header"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeResultJSONL(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: decoder accepted the document", tc.name)
+		} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestResultTableShapes checks the layout dispatch: standalone specs get
+// the axis table, single-axis sweeps get the panel table, and matrices
+// get one row per scenario.
+func TestResultTableShapes(t *testing.T) {
+	res := runQuickResult(t)
+	tb := res.Table()
+	if tb.Columns[0] != AxisLoad {
+		t.Errorf("standalone table axis column = %q", tb.Columns[0])
+	}
+	if len(tb.Rows) != 3 || len(tb.Columns) != 3 {
+		t.Errorf("standalone table is %dx%d, want 3x3", len(tb.Rows), len(tb.Columns))
+	}
+
+	matrix := &Result{
+		Version: ResultVersion,
+		Spec: NewSpec(
+			WithName("m"),
+			WithTopology(4, 4),
+			WithArbiters("PIM1"),
+			WithPatterns("random", "tornado"),
+			WithRates(0.01),
+			WithCycles(100),
+		),
+		Series: []ResultSeries{
+			{Label: "a", Arbiter: "PIM1", Pattern: "random", Process: "bernoulli",
+				Points: []ResultPoint{{Rate: 0.01}}},
+			{Label: "b", Arbiter: "PIM1", Pattern: "tornado", Process: "bernoulli",
+				Points: []ResultPoint{{Rate: 0.01}}},
+		},
+	}
+	tb = matrix.Table()
+	if tb.Columns[0] != "algorithm" {
+		t.Errorf("matrix table first column = %q, want algorithm", tb.Columns[0])
+	}
+	if len(tb.Rows) != 2 {
+		t.Errorf("matrix table has %d rows, want 2", len(tb.Rows))
+	}
+
+	// Replay specs have no rate axis, so the panel layout would render
+	// zero rows; the measured point must still appear.
+	replay := &Result{
+		Version: ResultVersion,
+		Spec: NewSpec(
+			WithName("r"),
+			WithTopology(4, 4),
+			WithArbiters("PIM1"),
+			WithReplay("x.trace"),
+			WithCycles(100),
+		),
+		Series: []ResultSeries{
+			{Label: "PIM1", Arbiter: "PIM1", Points: []ResultPoint{{Throughput: 0.5, Packets: 7}}},
+		},
+	}
+	tb = replay.Table()
+	if len(tb.Rows) != 1 {
+		t.Errorf("replay table has %d rows, want 1", len(tb.Rows))
+	}
+}

@@ -131,13 +131,18 @@ func runJobs[T any](o Options, jobs []jobSpec[T]) ([]T, int, error) {
 		tracker.finish(jobs[i].label)
 	}
 
+	// halted stops dispatch: a job failed, a sibling sweep aborted, or the
+	// runner's context (Runner.Run cancellation) expired.
+	halted := func() bool {
+		return failed.Load() || (o.ctx != nil && o.ctx.Err() != nil)
+	}
 	workers := o.workerCount()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for i := range jobs {
-			if failed.Load() {
+			if halted() {
 				break
 			}
 			exec(i)
@@ -155,7 +160,7 @@ func runJobs[T any](o Options, jobs []jobSpec[T]) ([]T, int, error) {
 			}()
 		}
 		for i := range jobs {
-			if failed.Load() {
+			if halted() {
 				break
 			}
 			indices <- i

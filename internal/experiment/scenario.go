@@ -7,6 +7,7 @@ package experiment
 // parallel matrix is byte-identical to a serial one.
 
 import (
+	"context"
 	"fmt"
 
 	"alpha21364/internal/core"
@@ -31,6 +32,20 @@ type ScenarioResult struct {
 	TimingResult
 }
 
+// MatrixSpec lifts the typed matrix axes into a declarative Spec — the
+// cross product becomes Spec expansion, executed by a Runner.
+func MatrixSpec(base TimingSetup, kinds []core.Kind,
+	patterns []traffic.Pattern, processes []string, rates []float64) Spec {
+	sp := specFromSetup("matrix", base, kinds, rates)
+	names := make([]string, len(patterns))
+	for i, p := range patterns {
+		names[i] = p.String()
+	}
+	sp.Workload.Patterns = names
+	sp.Workload.Processes = append([]string(nil), processes...)
+	return sp
+}
+
 // ScenarioMatrix runs every combination of the given algorithms,
 // destination patterns, arrival processes, and injection rates on the
 // base setup (which supplies torus size, cycle count, seed, and the
@@ -38,39 +53,45 @@ type ScenarioResult struct {
 // outermost, then patterns, processes, and rates — regardless of worker
 // scheduling. On failure the returned slice holds the results of every
 // scenario before the first failed one.
+//
+// Deprecated: build the matrix as a Spec (MatrixSpec or NewSpec with
+// multi-valued WithPatterns/WithProcesses) and execute it with a Runner;
+// this adapter remains for compatibility.
 func ScenarioMatrix(o Options, base TimingSetup, kinds []core.Kind,
 	patterns []traffic.Pattern, processes []string, rates []float64) ([]ScenarioResult, error) {
 	if len(processes) == 0 {
 		processes = []string{"bernoulli"}
 	}
-	scenarios := make([]Scenario, 0, len(kinds)*len(patterns)*len(processes)*len(rates))
-	for _, k := range kinds {
-		for _, p := range patterns {
-			for _, proc := range processes {
-				for _, r := range rates {
-					scenarios = append(scenarios, Scenario{Kind: k, Pattern: p, Process: proc, Rate: r})
-				}
-			}
+	if len(kinds) == 0 || len(patterns) == 0 || len(rates) == 0 {
+		return nil, nil
+	}
+	res, err := optionsRunner(o).Run(context.Background(),
+		MatrixSpec(base, kinds, patterns, processes, rates))
+	if res == nil {
+		return nil, err
+	}
+	// Series arrive in matrix order (kinds, then patterns, then
+	// processes) with rates as points; flattening them reproduces the old
+	// scenario order, and the contiguous-prefix partial contract means a
+	// failed run truncates exactly at the first bad scenario.
+	var results []ScenarioResult
+	for si, s := range res.Series {
+		ki := si / (len(patterns) * len(processes))
+		pi := si / len(processes) % len(patterns)
+		pri := si % len(processes)
+		for ri, pt := range s.Points {
+			results = append(results, ScenarioResult{
+				Scenario: Scenario{
+					Kind:    kinds[ki],
+					Pattern: patterns[pi],
+					Process: processes[pri],
+					Rate:    rates[ri],
+				},
+				TimingResult: pt.TimingResult(),
+			})
 		}
 	}
-	jobs := make([]jobSpec[ScenarioResult], len(scenarios))
-	for i, sc := range scenarios {
-		setup := base
-		setup.Kind = sc.Kind
-		setup.Pattern = sc.Pattern
-		setup.Process = sc.Process
-		setup.Rate = sc.Rate
-		sc := sc
-		jobs[i] = jobSpec[ScenarioResult]{
-			label: "matrix / " + sc.String(),
-			run: func() (ScenarioResult, error) {
-				res, err := RunTiming(setup)
-				return ScenarioResult{Scenario: sc, TimingResult: res}, err
-			},
-		}
-	}
-	results, firstBad, err := runJobs(o, jobs)
-	return results[:firstBad], err
+	return results, err
 }
 
 // ScenarioTable formats matrix results as one row per scenario.
@@ -90,7 +111,7 @@ func ScenarioTable(results []ScenarioResult) Table {
 			fmt.Sprintf("%g", r.Rate),
 			fmt.Sprintf("%.4f", r.Throughput),
 			fmt.Sprintf("%.1f", r.AvgLatencyNS),
-			fmt.Sprintf("%.1f", r.AvgLatencyP99),
+			fmt.Sprintf("%.1f", r.LatencyP99NS),
 			fmt.Sprintf("%d", r.Packets),
 		})
 	}

@@ -1,0 +1,346 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates the testdata golden files:
+//
+//	go test ./internal/experiment -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSpecGoldenRoundTrip pins the serialized form of a canned figure
+// spec and checks the round-trip guarantee: marshal → parse → marshal is
+// byte-identical and structurally lossless.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	for _, fig := range []string{"8", "10s"} {
+		specs, err := FigureSpecs(fig, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := specs[0]
+		data, err := EncodeSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "figure"+fig+".spec.json", data)
+
+		parsed, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("figure %s: reparse: %v", fig, err)
+		}
+		if !reflect.DeepEqual(parsed, spec) {
+			t.Errorf("figure %s: parse is lossy:\ngot  %+v\nwant %+v", fig, parsed, spec)
+		}
+		again, err := EncodeSpec(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Errorf("figure %s: marshal→parse→marshal is not byte-identical", fig)
+		}
+	}
+}
+
+// TestFigureSpecsCoverEveryFigure checks the canned registry is total
+// and every spec it returns validates.
+func TestFigureSpecsCoverEveryFigure(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	all, err := FigureSpecs("all", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8, 9, 10 (four panels), 10s, 11a, 11b, 11c.
+	if len(all) != 10 {
+		t.Fatalf("FigureSpecs(all) returned %d specs, want 10", len(all))
+	}
+	for _, sp := range all {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+	}
+	if _, err := FigureSpecs("nope", o); err == nil {
+		t.Error("unknown figure name was accepted")
+	}
+}
+
+func validTimingSpec() Spec {
+	return NewSpec(
+		WithName("t"),
+		WithTopology(4, 4),
+		WithArbiters("SPAA-rotary"),
+		WithRates(0.02),
+		WithCycles(1000),
+		WithSeed(1),
+	)
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"wrong version", func(s *Spec) { s.Version = 2 }, "version"},
+		{"no arbiters", func(s *Spec) { s.Arbiters = nil }, "arbiter"},
+		{"bad arbiter", func(s *Spec) { s.Arbiters = []string{"nope"} }, "nope"},
+		{"bad mode", func(s *Spec) { s.Mode = "quantum" }, "mode"},
+		{"no topology", func(s *Spec) { s.Topology = nil }, "topology"},
+		{"tiny topology", func(s *Spec) { s.Topology.Width = 1 }, ">= 2"},
+		{"no timing", func(s *Spec) { s.Timing = nil }, "cycle"},
+		{"no cycles", func(s *Spec) { s.Timing.Cycles = 0 }, "cycle"},
+		{"no workload", func(s *Spec) { s.Workload = nil }, "workload"},
+		{"no rates", func(s *Spec) { s.Workload.Rates = nil }, "rate"},
+		{"negative rate", func(s *Spec) { s.Workload.Rates = []float64{-0.1} }, "positive"},
+		{"bad pattern", func(s *Spec) { s.Workload.Patterns = []string{"zigzag"} }, "zigzag"},
+		{"pattern needs pow2", func(s *Spec) {
+			s.Topology = &TopologySpec{Width: 5, Height: 3}
+			s.Workload.Patterns = []string{"bit-reversal"}
+		}, "power-of-two"},
+		{"bad process", func(s *Spec) { s.Workload.Processes = []string{"fractal"} }, "fractal"},
+		{"bad model", func(s *Spec) { s.Workload.Model = "telepathy" }, "telepathy"},
+		{"record on a sweep", func(s *Spec) {
+			s.Workload.RecordTo = "x.trace"
+			s.Workload.Rates = []float64{0.01, 0.02}
+		}, "record_to"},
+		{"replay with patterns", func(s *Spec) {
+			s.Workload = &WorkloadSpec{ReplayFrom: "x.trace", Patterns: []string{"random"}}
+		}, "contradicts patterns"},
+		{"replay with rates", func(s *Spec) {
+			s.Workload = &WorkloadSpec{ReplayFrom: "x.trace", Rates: []float64{0.01}}
+		}, "contradicts rates"},
+		{"replay with record", func(s *Spec) {
+			s.Workload = &WorkloadSpec{ReplayFrom: "x.trace", RecordTo: "y.trace"}
+		}, "record_to"},
+		{"standalone section on timing spec", func(s *Spec) {
+			s.Standalone = &StandaloneSpec{Cycles: 10, Axis: AxisLoad, Values: []float64{1}}
+		}, "standalone section"},
+	}
+	for _, tc := range cases {
+		sp := validTimingSpec()
+		tc.mut(&sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecValidateStandalone(t *testing.T) {
+	good := NewSpec(
+		WithArbiters("MCM", "PIM"),
+		WithStandaloneSweep(AxisLoadFraction, 0.5, 1.0),
+		WithCycles(100),
+		WithSeed(2),
+	)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid standalone spec rejected: %v", err)
+	}
+	// WithCycles/WithSeed after WithStandaloneSweep land in the
+	// standalone section.
+	if good.Standalone.Cycles != 100 || good.Standalone.Seed != 2 {
+		t.Errorf("mode-aware options missed the standalone section: %+v", good.Standalone)
+	}
+	if good.Timing != nil {
+		t.Error("standalone build leaked a timing section")
+	}
+	// Option order must not matter: cycles/seed applied before the mode
+	// switch are migrated into the standalone section by NewSpec.
+	reordered := NewSpec(
+		WithCycles(100),
+		WithSeed(2),
+		WithArbiters("MCM", "PIM"),
+		WithStandaloneSweep(AxisLoadFraction, 0.5, 1.0),
+	)
+	if !reflect.DeepEqual(reordered, good) {
+		t.Errorf("option order changed the spec:\ngot  %+v\nwant %+v", reordered, good)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no section", func(s *Spec) { s.Standalone = nil }, "standalone section"},
+		{"no cycles", func(s *Spec) { s.Standalone.Cycles = 0 }, "cycle"},
+		{"no values", func(s *Spec) { s.Standalone.Values = nil }, "axis value"},
+		{"bad axis", func(s *Spec) { s.Standalone.Axis = "voltage" }, "voltage"},
+		{"load with occupancy axis", func(s *Spec) {
+			s.Standalone.Axis = AxisLoad
+			s.Standalone.Load = 2
+		}, "load"},
+		{"occupancy out of range", func(s *Spec) { s.Standalone.Occupancy = 1.5 }, "occupancy"},
+		{"occupancy axis values out of range", func(s *Spec) {
+			s.Standalone.Axis = AxisOccupancy
+			s.Standalone.Values = []float64{2}
+		}, "within [0, 1]"},
+		{"timing sections on standalone", func(s *Spec) {
+			s.Topology = &TopologySpec{Width: 4, Height: 4}
+		}, "timing sections"},
+	}
+	for _, tc := range cases {
+		sp := NewSpec(
+			WithArbiters("MCM"),
+			WithStandaloneSweep(AxisLoadFraction, 0.5),
+			WithCycles(100),
+		)
+		tc.mut(&sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	good, err := EncodeSpec(validTimingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec(good); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	unknownField := bytes.Replace(good, []byte(`"version": 1`), []byte(`"version": 1, "bogus": true`), 1)
+	if _, err := ParseSpec(unknownField); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+
+	unknownVersion := bytes.Replace(good, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if _, err := ParseSpec(unknownVersion); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("unknown version not rejected: %v", err)
+	}
+
+	trailing := append(append([]byte{}, good...), []byte(`{"version": 1}`)...)
+	if _, err := ParseSpec(trailing); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing garbage not rejected: %v", err)
+	}
+
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestParseSpecsArray(t *testing.T) {
+	a := validTimingSpec()
+	b := NewSpec(
+		WithArbiters("MCM"),
+		WithStandaloneSweep(AxisLoad, 1.0),
+		WithCycles(10),
+	)
+	data, err := EncodeSpecs([]Spec{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || !reflect.DeepEqual(specs[0], a) || !reflect.DeepEqual(specs[1], b) {
+		t.Errorf("array round-trip lost data: %+v", specs)
+	}
+	if _, err := ParseSpecs([]byte("[]")); err == nil {
+		t.Error("empty spec array accepted")
+	}
+	// Single-object form also parses through ParseSpecs.
+	one, err := EncodeSpecs([]Spec{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err = ParseSpecs(one)
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("single-object ParseSpecs = %v, %v", specs, err)
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "specs.json")
+	a := validTimingSpec()
+	if err := WriteSpecFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ReadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || !reflect.DeepEqual(specs[0], a) {
+		t.Errorf("file round-trip lost data: %+v", specs)
+	}
+}
+
+// FuzzSpecParse throws mutated documents at the strict parser: it must
+// never panic, and anything it accepts must re-marshal to a canonical
+// form that is a fixed point — parsing it and marshaling again yields
+// the same bytes. (Struct equality is deliberately not required: JSON
+// `[]` decodes to an empty non-nil slice that canonicalizes to absent.)
+func FuzzSpecParse(f *testing.F) {
+	o := Options{Quick: true, Seed: 1}
+	if all, err := FigureSpecs("all", o); err == nil {
+		for _, sp := range all {
+			if data, err := EncodeSpec(sp); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{"version":1,"arbiters":["PIM1"],"topology":{"width":4,"height":4},"workload":{"rates":[0.01]},"timing":{"cycles":10}}`))
+	f.Add([]byte(`{"version":1,"mode":"standalone","arbiters":["MCM"],"standalone":{"cycles":5,"axis":"load","values":[1]}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeSpec(sp)
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v", err)
+		}
+		again, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\n%s", err, out)
+		}
+		out2, err := EncodeSpec(again)
+		if err != nil {
+			t.Fatalf("round-tripped spec failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst  %s\nsecond %s", out, out2)
+		}
+	})
+}

@@ -155,6 +155,30 @@ func (c *Collector) PercentileLatencyNS(p float64) float64 {
 	return c.latencyMax.NS()
 }
 
+// LatencySummary bundles a run's packet-latency distribution in
+// nanoseconds: the exact mean and extremes plus histogram-derived upper
+// bounds on the median and tail quantiles.
+type LatencySummary struct {
+	MeanNS float64
+	MinNS  float64
+	MaxNS  float64
+	P50NS  float64
+	P95NS  float64
+	P99NS  float64
+}
+
+// LatencySummaryNS summarizes the measured latency distribution.
+func (c *Collector) LatencySummaryNS() LatencySummary {
+	return LatencySummary{
+		MeanNS: c.AvgLatencyNS(),
+		MinNS:  c.MinLatencyNS(),
+		MaxNS:  c.MaxLatencyNS(),
+		P50NS:  c.PercentileLatencyNS(0.50),
+		P95NS:  c.PercentileLatencyNS(0.95),
+		P99NS:  c.PercentileLatencyNS(0.99),
+	}
+}
+
 // EpochSeries buckets delivered flits into fixed time epochs, exposing the
 // delivered-throughput waveform over time. The paper observes that a
 // saturated 21364 network "produces a cyclic pattern of network link
