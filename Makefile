@@ -1,0 +1,43 @@
+# Developer entry points. Everything here is a thin wrapper over the Go
+# toolchain and cmd/sweep; CI runs the same commands.
+
+GO ?= go
+
+.PHONY: build test race bench bench-check fmt vet figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the suite under the race detector, short mode (CI's default).
+race:
+	$(GO) test -race -short ./...
+
+# race-pools points the race detector at the pooled/arena hot paths
+# specifically: the tick-wheel scheduler, the packet arena, the router
+# slab/rings, and the workload injection queues.
+race-pools:
+	$(GO) test -race -count=1 \
+		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
+		./internal/sim ./internal/packet ./internal/vc ./internal/router ./internal/workload
+
+# bench runs the benchmark suite and writes BENCH_4.json into bench-out/.
+bench:
+	$(GO) run ./cmd/sweep -bench -out bench-out
+
+# bench-check compares a fresh run against the committed baseline and
+# fails on >15% calibration-normalized regression in ns/simulated-cycle
+# (or allocations). This is the CI perf gate.
+bench-check:
+	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_4.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+figures:
+	$(GO) run ./cmd/sweep -quick -figure all -out figures-out

@@ -38,6 +38,7 @@ import (
 
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
+	"alpha21364/internal/packet"
 	"alpha21364/internal/sim"
 	"alpha21364/internal/standalone"
 	"alpha21364/internal/stats"
@@ -324,6 +325,24 @@ const ResultVersion = experiment.ResultVersion
 // ReadResultFile loads the document form.
 func DecodeResultJSONL(r io.Reader) (*Result, error) { return experiment.DecodeResultJSONL(r) }
 func ReadResultFile(path string) (*Result, error)    { return experiment.ReadResultFile(path) }
+
+// BenchReport is the machine-readable benchmark report (BENCH_*.json):
+// Spec-driven workloads measured through the ordinary Runner, reporting
+// points/sec, ns/simulated-cycle, and allocs/op, with a calibration
+// constant for cross-machine comparison (BenchReport.Compare).
+type BenchReport = experiment.BenchReport
+
+// RunBench executes the fixed benchmark suite serially and returns its
+// report; ReadBenchFile loads a saved one.
+func RunBench(ctx context.Context) (*BenchReport, error) { return experiment.RunBench(ctx) }
+func ReadBenchFile(path string) (*BenchReport, error)    { return experiment.ReadBenchFile(path) }
+
+// PacketArena pools packets with generation-checked handles; simulation
+// hot paths draw packets from an arena and release them at delivery.
+type PacketArena = packet.Arena
+
+// NewPacketArena returns an empty arena.
+func NewPacketArena() *PacketArena { return packet.NewArena() }
 
 // TimingSetup describes one timing-model simulation.
 //

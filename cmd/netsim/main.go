@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"alpha21364"
+	"alpha21364/internal/prof"
 )
 
 func main() {
@@ -33,7 +34,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	series := flag.Int("series", 0, "if > 0, print delivered flits per N-cycle epoch (saturation oscillation)")
 	jsonOut := flag.Bool("json", false, "print the Result document as JSON instead of text")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	var w, h int
 	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"alpha21364"
+	"alpha21364/internal/prof"
 )
 
 func main() {
@@ -29,7 +30,14 @@ func main() {
 	cycles := flag.Int("cycles", 1000, "iterations to average over")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "print the Result document as JSON instead of text")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	spec := alpha21364.NewSpec(
 		alpha21364.WithName("standalone"),

@@ -1,23 +1,26 @@
 // Command sweep is a thin shell over the Scenario/Runner API: it loads
 // and saves declarative simulation Specs, executes them through the
 // context-aware streaming Runner, regenerates the paper's figures (which
-// are canned Specs), runs scenario matrices, and records/replays
-// injection traces. It prints each table to stdout and, with -out, also
-// writes CSV files and machine-readable Result JSONL.
+// are canned Specs), runs scenario matrices, records/replays injection
+// traces, and runs the benchmark suite. Tables (or, with -json, Result
+// JSONL) go to stdout; diagnostics and -progress lines go to stderr, so
+// piping stdout stays machine-readable. With -out it also writes CSV
+// files and Result JSONL documents.
 //
 // Usage:
 //
-//	sweep -spec FILE [-out DIR] [-workers N] [-progress]
+//	sweep -spec FILE [-out DIR] [-workers N] [-progress] [-json]
 //	sweep -emit-spec [-figure F | -matrix ... | -run ...]   > specs.json
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
-//	      [-workers N] [-progress]
+//	      [-workers N] [-progress] [-json]
 //	sweep -matrix [-algos A,B] [-patterns P,Q] [-processes X,Y] [-rates R1,R2]
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
 //	      [-record FILE | -replay FILE]
-//	sweep -bench [-out DIR]
+//	sweep -bench [-out DIR] [-bench-baseline BENCH_4.json]
 //	sweep -list
 //
+// -cpuprofile and -memprofile write pprof profiles for any mode.
 // Contradictory flag combinations (for example -record with -matrix, or
 // -replay with -pattern) are rejected with an error instead of silently
 // ignoring flags. Simulations within a figure or matrix are independent,
@@ -27,8 +30,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -38,48 +43,103 @@ import (
 
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
+	"alpha21364/internal/prof"
 	"alpha21364/internal/traffic"
 	"alpha21364/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
-	figure := flag.String("figure", "all", "which figure to regenerate (all, 8, 9, 10, 10s, 11a, 11b, 11c)")
-	quick := flag.Bool("quick", false, "shorter runs and sparser sweeps")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	out := flag.String("out", "", "directory for CSV/JSONL output (optional)")
-	plot := flag.Bool("plot", false, "also render ASCII BNF charts for timing panels")
-	verify := flag.Bool("verify", false, "rerun everything and check the paper's claims")
-	markdown := flag.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
-	progress := flag.Bool("progress", false, "log Runner events (each completed simulation) to stderr")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; asking for help is not a failure
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	list := flag.Bool("list", false, "list algorithms, patterns, processes, models, and figures, then exit")
-	matrix := flag.Bool("matrix", false, "run a scenario matrix (algorithms x patterns x processes x rates)")
-	runOne := flag.Bool("run", false, "run a single scenario (implied by -record/-replay)")
-	algos := flag.String("algos", "SPAA-rotary,PIM1,WFA-rotary", "comma-separated algorithms for -matrix")
-	patterns := flag.String("patterns", strings.Join(traffic.PatternNames(), ","), "comma-separated destination patterns for -matrix")
-	processes := flag.String("processes", strings.Join(workload.ProcessNames(), ","), "comma-separated arrival processes for -matrix")
-	rates := flag.String("rates", "0.01,0.03", "comma-separated injection rates for -matrix")
-	size := flag.String("size", "8x8", "torus size WxH for -matrix and -run")
-	cycles := flag.Int("cycles", 0, "router cycles per simulation (0 = figure default)")
-	algo := flag.String("algo", "SPAA-rotary", "algorithm for -run")
-	pattern := flag.String("pattern", "random", "destination pattern for -run")
-	process := flag.String("process", "bernoulli", "arrival process for -run")
-	model := flag.String("model", "coherence", "transaction model for -run and -matrix")
-	rate := flag.Float64("rate", 0.03, "injection rate for -run")
-	record := flag.String("record", "", "with -run, record the injection stream to this trace file")
-	replay := flag.String("replay", "", "with -run, replay a recorded trace instead of generating traffic")
+// app carries the output streams: results (tables or JSONL) go to out,
+// progress and diagnostics to the logger on errW.
+type app struct {
+	out  io.Writer
+	log  *log.Logger
+	json bool
+	dir  string // -out directory, "" for none
+}
 
-	specFile := flag.String("spec", "", "load a Spec (or Spec array) JSON file and run it through the Runner")
-	emitSpec := flag.Bool("emit-spec", false, "print the selected figure/matrix/run as Spec JSON instead of running")
-	bench := flag.Bool("bench", false, "run the benchmark smoke suite and write BENCH_*.json results")
-	flag.Parse()
+// emitResult prints one Result to stdout — as JSONL with -json, as a
+// formatted table otherwise — and mirrors it into the -out directory.
+func (a *app) emitResult(res *experiment.Result, tb experiment.Table, name string) error {
+	if a.json {
+		if err := res.EncodeJSONL(a.out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(a.out, tb.Format())
+	}
+	if err := a.writeCSV(name, tb); err != nil {
+		return err
+	}
+	return a.writeJSONL(name, res)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "sweep: ", 0)
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	figure := fs.String("figure", "all", "which figure to regenerate (all, 8, 9, 10, 10s, 11a, 11b, 11c)")
+	quick := fs.Bool("quick", false, "shorter runs and sparser sweeps")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	out := fs.String("out", "", "directory for CSV/JSONL output (optional)")
+	plot := fs.Bool("plot", false, "also render ASCII BNF charts for timing panels")
+	verify := fs.Bool("verify", false, "rerun everything and check the paper's claims")
+	markdown := fs.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+	progress := fs.Bool("progress", false, "log Runner events (each completed simulation) to stderr")
+	jsonOut := fs.Bool("json", false, "stream Result JSONL to stdout instead of formatted tables")
+
+	list := fs.Bool("list", false, "list algorithms, patterns, processes, models, and figures, then exit")
+	matrix := fs.Bool("matrix", false, "run a scenario matrix (algorithms x patterns x processes x rates)")
+	runOne := fs.Bool("run", false, "run a single scenario (implied by -record/-replay)")
+	algos := fs.String("algos", "SPAA-rotary,PIM1,WFA-rotary", "comma-separated algorithms for -matrix")
+	patterns := fs.String("patterns", strings.Join(traffic.PatternNames(), ","), "comma-separated destination patterns for -matrix")
+	processes := fs.String("processes", strings.Join(workload.ProcessNames(), ","), "comma-separated arrival processes for -matrix")
+	rates := fs.String("rates", "0.01,0.03", "comma-separated injection rates for -matrix")
+	size := fs.String("size", "8x8", "torus size WxH for -matrix and -run")
+	cycles := fs.Int("cycles", 0, "router cycles per simulation (0 = figure default)")
+	algo := fs.String("algo", "SPAA-rotary", "algorithm for -run")
+	pattern := fs.String("pattern", "random", "destination pattern for -run")
+	process := fs.String("process", "bernoulli", "arrival process for -run")
+	model := fs.String("model", "coherence", "transaction model for -run and -matrix")
+	rate := fs.Float64("rate", 0.03, "injection rate for -run")
+	record := fs.String("record", "", "with -run, record the injection stream to this trace file")
+	replay := fs.String("replay", "", "with -run, replay a recorded trace instead of generating traffic")
+
+	specFile := fs.String("spec", "", "load a Spec (or Spec array) JSON file and run it through the Runner")
+	emitSpec := fs.Bool("emit-spec", false, "print the selected figure/matrix/run as Spec JSON instead of running")
+	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_4.json")
+	benchBaseline := fs.String("bench-baseline", "", "with -bench, compare against this BENCH_*.json and fail on >15% regression")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	rejectContradictions(set)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := rejectContradictions(set); err != nil {
+		return err
+	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, logger.Printf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	a := &app{out: stdout, log: logger, json: *jsonOut, dir: *out}
 
 	o := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	var runnerOpts []experiment.RunnerOption
@@ -87,78 +147,93 @@ func main() {
 	if *progress {
 		start := time.Now()
 		o.Progress = func(done, total int, label string) {
-			log.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
+			logger.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
 		}
 		runnerOpts = append(runnerOpts, experiment.WithEventSink(func(e experiment.Event) {
 			elapsed := time.Since(start).Round(time.Second)
 			switch e.Type {
 			case experiment.EventRunStart:
-				log.Printf("[  0/%3d %6s] start %s", e.Total, elapsed, e.Label)
+				logger.Printf("[  0/%3d %6s] start %s", e.Total, elapsed, e.Label)
 			case experiment.EventPointDone:
-				log.Printf("[%3d/%3d %6s] %s", e.Done, e.Total, elapsed, e.Label)
+				logger.Printf("[%3d/%3d %6s] %s", e.Done, e.Total, elapsed, e.Label)
 			case experiment.EventSeriesDone:
-				log.Printf("[%3d/%3d %6s] series done: %s", e.Done, e.Total, elapsed, e.Series)
+				logger.Printf("[%3d/%3d %6s] series done: %s", e.Done, e.Total, elapsed, e.Series)
 			}
 		}))
 	}
 
 	switch {
 	case *list:
-		printLists()
-		return
+		a.printLists()
+		return nil
 	case *emitSpec:
-		specs := specsFromFlags(o, *figure, *matrix, *runOne || *record != "" || *replay != "",
+		specs, err := specsFromFlags(o, *figure, *matrix, *runOne || *record != "" || *replay != "",
 			*algos, *patterns, *processes, *rates, *model, *size, *cycles,
 			*algo, *pattern, *process, *rate, *record, *replay)
+		if err != nil {
+			return err
+		}
 		data, err := experiment.EncodeSpecs(specs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		os.Stdout.Write(data)
-		return
+		_, err = a.out.Write(data)
+		return err
 	case *specFile != "":
 		specs, err := experiment.ReadSpecFile(*specFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		runSpecs(runnerOpts, specs, *out, *plot)
-		return
+		return a.runSpecs(runnerOpts, specs, *plot)
 	case *bench:
-		runBench(runnerOpts, *out)
-		return
+		return a.runBench(*benchBaseline)
 	case *matrix:
-		sp := matrixSpec(o, *algos, *patterns, *processes, *rates, *model, *size, *cycles)
+		sp, err := matrixSpec(o, *algos, *patterns, *processes, *rates, *model, *size, *cycles)
+		if err != nil {
+			return err
+		}
 		start := time.Now()
-		res := runSpec(runnerOpts, sp)
-		tb := res.ScenarioTable()
-		fmt.Println(tb.Format())
-		writeCSV(*out, "scenario-matrix", tb)
-		writeJSONL(*out, "scenario-matrix", res)
+		res, err := runSpec(runnerOpts, sp)
+		if err != nil {
+			return err
+		}
+		if err := a.emitResult(res, res.ScenarioTable(), "scenario-matrix"); err != nil {
+			return err
+		}
 		points := 0
 		for _, s := range res.Series {
 			points += len(s.Points)
 		}
-		log.Printf("%d scenarios in %v", points, time.Since(start).Round(time.Second))
-		return
+		logger.Printf("%d scenarios in %v", points, time.Since(start).Round(time.Second))
+		return nil
 	case *runOne || *record != "" || *replay != "":
-		sp := runSpecFromFlags(o, *algo, *pattern, *process, *model, *rate, *size, *cycles, *record, *replay)
+		sp, err := runSpecFromFlags(o, *algo, *pattern, *process, *model, *rate, *size, *cycles, *record, *replay)
+		if err != nil {
+			return err
+		}
 		start := time.Now()
-		res := runSpec(runnerOpts, sp)
-		printSingleRun(res, *size, *record, *replay)
-		writeJSONL(*out, "run", res)
-		log.Printf("done in %v", time.Since(start).Round(time.Second))
-		return
-	}
-	if *verify {
+		res, err := runSpec(runnerOpts, sp)
+		if err != nil {
+			return err
+		}
+		if err := a.printSingleRun(res, *size, *record, *replay); err != nil {
+			return err
+		}
+		if err := a.writeJSONL("run", res); err != nil {
+			return err
+		}
+		logger.Printf("done in %v", time.Since(start).Round(time.Second))
+		return nil
+	case *verify:
 		dataset, err := experiment.CollectDataset(o)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		verdicts := experiment.Verify(dataset)
 		if *markdown {
-			fmt.Print(experiment.VerdictMarkdown(verdicts))
+			fmt.Fprint(a.out, experiment.VerdictMarkdown(verdicts))
 		} else {
-			fmt.Println(experiment.VerdictTable(verdicts).Format())
+			fmt.Fprintln(a.out, experiment.VerdictTable(verdicts).Format())
 		}
 		bad := 0
 		for _, v := range verdicts {
@@ -166,8 +241,8 @@ func main() {
 				bad++
 			}
 		}
-		log.Printf("%d/%d claims reproduced", len(verdicts)-bad, len(verdicts))
-		return
+		logger.Printf("%d/%d claims reproduced", len(verdicts)-bad, len(verdicts))
+		return nil
 	}
 
 	// Figure mode: every figure is a set of canned Specs.
@@ -179,116 +254,138 @@ func main() {
 	for _, name := range names {
 		specs, err := experiment.FigureSpecs(name, o)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		runFigureSpecs(runnerOpts, name, specs, *out, *plot)
+		if err := a.runFigureSpecs(runnerOpts, name, specs, *plot); err != nil {
+			return err
+		}
 	}
-	log.Printf("done in %v", time.Since(start).Round(time.Second))
+	logger.Printf("done in %v", time.Since(start).Round(time.Second))
+	return nil
 }
 
 // rejectContradictions fails fast on flag combinations where one flag
 // would silently override or ignore another.
-func rejectContradictions(set map[string]bool) {
-	conflict := func(a, b, why string) {
+func rejectContradictions(set map[string]bool) error {
+	conflict := func(a, b, why string) error {
 		if set[a] && set[b] {
-			log.Fatalf("-%s and -%s are contradictory: %s", a, b, why)
+			return fmt.Errorf("-%s and -%s are contradictory: %s", a, b, why)
 		}
+		return nil
 	}
+	var errs []error
 	// -spec fully describes the work; every selection flag contradicts it.
 	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
 		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay"} {
-		conflict("spec", f, "a spec file fixes the whole scenario; edit the file instead")
+		errs = append(errs, conflict("spec", f, "a spec file fixes the whole scenario; edit the file instead"))
 	}
-	conflict("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly")
-	conflict("emit-spec", "verify", "claim verification has no single spec form")
-	conflict("emit-spec", "bench", "the bench suite is fixed; run it directly")
+	errs = append(errs,
+		conflict("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly"),
+		conflict("emit-spec", "verify", "claim verification has no single spec form"),
+		conflict("emit-spec", "bench", "the bench suite is fixed; run it directly"),
+		conflict("emit-spec", "json", "-emit-spec already writes Spec JSON to stdout"),
+		conflict("record", "replay", "a run either records or replays, not both"),
+		// Mode selectors are mutually exclusive.
+		conflict("matrix", "run", "pick one mode"),
+		conflict("matrix", "figure", "pick one mode"),
+		conflict("matrix", "verify", "pick one mode"),
+		conflict("run", "figure", "pick one mode"),
+		conflict("run", "verify", "pick one mode"),
+		conflict("figure", "verify", "claim verification always reruns every figure"),
+		conflict("bench", "figure", "the bench suite is fixed"),
+		conflict("bench", "matrix", "the bench suite is fixed"),
+		conflict("bench", "run", "the bench suite is fixed"),
+		conflict("bench", "verify", "the bench suite is fixed"),
+		conflict("bench", "json", "the bench report is already machine-readable (BENCH_4.json)"),
+		conflict("bench", "workers", "the bench suite measures one simulation at a time (serial by design)"),
+		conflict("bench", "progress", "bench entries are logged to stderr as they finish"),
+		conflict("verify", "json", "claim verification emits verdict tables, not Results"),
+	)
 	// Replay fixes the injection stream; generative knobs contradict it.
 	for _, f := range []string{"pattern", "rate", "process", "model"} {
-		conflict("replay", f, "a replayed trace fixes the injection stream")
+		errs = append(errs, conflict("replay", f, "a replayed trace fixes the injection stream"))
 	}
-	conflict("record", "replay", "a run either records or replays, not both")
-	// Mode selectors are mutually exclusive.
-	conflict("matrix", "run", "pick one mode")
-	conflict("matrix", "figure", "pick one mode")
-	conflict("matrix", "verify", "pick one mode")
-	conflict("run", "figure", "pick one mode")
-	conflict("run", "verify", "pick one mode")
-	conflict("figure", "verify", "claim verification always reruns every figure")
-	conflict("bench", "figure", "the bench suite is fixed")
-	conflict("bench", "matrix", "the bench suite is fixed")
-	conflict("bench", "run", "the bench suite is fixed")
-	conflict("bench", "verify", "the bench suite is fixed")
 	// Trace I/O belongs to single runs.
 	for _, f := range []string{"record", "replay"} {
-		conflict("matrix", f, "trace record/replay applies to single runs; use -run")
-		conflict("figure", f, "trace record/replay applies to single runs; use -run")
+		errs = append(errs, conflict("matrix", f, "trace record/replay applies to single runs; use -run"))
+		errs = append(errs, conflict("figure", f, "trace record/replay applies to single runs; use -run"))
 	}
 	// Single-run vs matrix axis flags.
 	for _, pair := range [][2]string{
 		{"run", "algos"}, {"run", "patterns"}, {"run", "processes"}, {"run", "rates"},
 		{"matrix", "algo"}, {"matrix", "pattern"}, {"matrix", "process"}, {"matrix", "rate"},
 	} {
-		conflict(pair[0], pair[1], "that axis flag belongs to the other mode")
+		errs = append(errs, conflict(pair[0], pair[1], "that axis flag belongs to the other mode"))
 	}
+	// The baseline comparison is part of bench mode.
+	if set["bench-baseline"] && !set["bench"] {
+		return fmt.Errorf("-bench-baseline requires -bench")
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // specsFromFlags builds the Spec(s) the current flags describe, for
 // -emit-spec.
 func specsFromFlags(o experiment.Options, figure string, matrix, runOne bool,
 	algos, patterns, processes, rates, model, size string, cycles int,
-	algo, pattern, process string, rate float64, record, replay string) []experiment.Spec {
+	algo, pattern, process string, rate float64, record, replay string) ([]experiment.Spec, error) {
 	switch {
 	case matrix:
-		return []experiment.Spec{matrixSpec(o, algos, patterns, processes, rates, model, size, cycles)}
-	case runOne:
-		return []experiment.Spec{runSpecFromFlags(o, algo, pattern, process, model, rate, size, cycles, record, replay)}
-	default:
-		specs, err := experiment.FigureSpecs(figure, o)
+		sp, err := matrixSpec(o, algos, patterns, processes, rates, model, size, cycles)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		return specs
+		return []experiment.Spec{sp}, nil
+	case runOne:
+		sp, err := runSpecFromFlags(o, algo, pattern, process, model, rate, size, cycles, record, replay)
+		if err != nil {
+			return nil, err
+		}
+		return []experiment.Spec{sp}, nil
+	default:
+		return experiment.FigureSpecs(figure, o)
 	}
 }
 
-// newRunner builds the Runner all modes share.
-func newRunner(opts []experiment.RunnerOption) *experiment.Runner {
-	return experiment.NewRunner(opts...)
+// runSpec executes one spec.
+func runSpec(opts []experiment.RunnerOption, sp experiment.Spec) (*experiment.Result, error) {
+	return experiment.NewRunner(opts...).Run(context.Background(), sp)
 }
 
-// runSpec executes one spec, dying on failure.
-func runSpec(opts []experiment.RunnerOption, sp experiment.Spec) *experiment.Result {
-	res, err := newRunner(opts).Run(context.Background(), sp)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
-}
-
-// runSpecs executes loaded spec files, printing each table.
-func runSpecs(opts []experiment.RunnerOption, specs []experiment.Spec, out string, plot bool) {
+// runSpecs executes loaded spec files, printing each result.
+func (a *app) runSpecs(opts []experiment.RunnerOption, specs []experiment.Spec, plot bool) error {
 	start := time.Now()
 	for i, sp := range specs {
-		res := runSpec(opts, sp)
-		if plot && sp.Mode != experiment.ModeStandalone {
-			p := res.Panel()
-			fmt.Println(p.Plot(72, 24))
+		res, err := runSpec(opts, sp)
+		if err != nil {
+			return err
 		}
-		fmt.Println(res.Table().Format())
-		name := specSlug(sp, i)
-		writeCSV(out, name, res.Table())
-		writeJSONL(out, name, res)
+		if plot && !a.json && sp.Mode != experiment.ModeStandalone {
+			fmt.Fprintln(a.out, res.Panel().Plot(72, 24))
+		}
+		if err := a.emitResult(res, res.Table(), specSlug(sp, i)); err != nil {
+			return err
+		}
 	}
-	log.Printf("%d spec(s) in %v", len(specs), time.Since(start).Round(time.Second))
+	a.log.Printf("%d spec(s) in %v", len(specs), time.Since(start).Round(time.Second))
+	return nil
 }
 
 // runFigureSpecs executes one figure's canned specs with the historical
 // per-figure CSV naming: figure8.csv, figure10-<panel>.csv, figure11a.csv.
-func runFigureSpecs(opts []experiment.RunnerOption, figure string, specs []experiment.Spec, out string, plot bool) {
+func (a *app) runFigureSpecs(opts []experiment.RunnerOption, figure string, specs []experiment.Spec, plot bool) error {
 	for i, sp := range specs {
-		res := runSpec(opts, sp)
-		if plot && sp.Mode != experiment.ModeStandalone {
-			fmt.Println(res.Panel().Plot(72, 24))
+		res, err := runSpec(opts, sp)
+		if err != nil {
+			return err
+		}
+		if plot && !a.json && sp.Mode != experiment.ModeStandalone {
+			fmt.Fprintln(a.out, res.Panel().Plot(72, 24))
 		}
 		var tb experiment.Table
 		if sp.Mode == experiment.ModeStandalone {
@@ -311,14 +408,15 @@ func runFigureSpecs(opts []experiment.RunnerOption, figure string, specs []exper
 		} else {
 			tb = res.Panel().Table()
 		}
-		fmt.Println(tb.Format())
 		name := "figure" + figure
 		if len(specs) > 1 {
 			name += "-" + specSlug(sp, i)
 		}
-		writeCSV(out, name, tb)
-		writeJSONL(out, name, res)
+		if err := a.emitResult(res, tb, name); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // specSlug derives a filesystem-friendly name for a spec's outputs.
@@ -332,22 +430,30 @@ func specSlug(sp experiment.Spec, i int) string {
 	return s
 }
 
-// printSingleRun prints the one-line summary of a single-scenario spec.
-func printSingleRun(res *experiment.Result, size, record, replay string) {
+// printSingleRun prints the one-line summary of a single-scenario spec
+// (or, with -json, its Result JSONL).
+func (a *app) printSingleRun(res *experiment.Result, size, record, replay string) error {
 	if len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
-		log.Fatal("no result point")
+		return fmt.Errorf("no result point")
 	}
-	s := res.Series[0]
-	p := s.Points[0]
-	what := fmt.Sprintf("%s/%s/%s/%s @ %g", s.Arbiter, s.Pattern, s.Process, modelName(s.Model), p.Rate)
-	if replay != "" {
-		what = fmt.Sprintf("%s replaying %s", s.Arbiter, replay)
+	if a.json {
+		if err := res.EncodeJSONL(a.out); err != nil {
+			return err
+		}
+	} else {
+		s := res.Series[0]
+		p := s.Points[0]
+		what := fmt.Sprintf("%s/%s/%s/%s @ %g", s.Arbiter, s.Pattern, s.Process, modelName(s.Model), p.Rate)
+		if replay != "" {
+			what = fmt.Sprintf("%s replaying %s", s.Arbiter, replay)
+		}
+		fmt.Fprintf(a.out, "%s on %s: %.4f flits/router/ns @ %.1f ns avg (p50 %.0f / p95 %.0f / p99 %.0f ns), %d packets, %d txns\n",
+			what, size, p.Throughput, p.AvgLatencyNS, p.LatencyP50NS, p.LatencyP95NS, p.LatencyP99NS, p.Packets, p.Completed)
 	}
-	fmt.Printf("%s on %s: %.4f flits/router/ns @ %.1f ns avg (p50 %.0f / p95 %.0f / p99 %.0f ns), %d packets, %d txns\n",
-		what, size, p.Throughput, p.AvgLatencyNS, p.LatencyP50NS, p.LatencyP95NS, p.LatencyP99NS, p.Packets, p.Completed)
 	if record != "" {
-		log.Printf("recorded trace to %s", record)
+		a.log.Printf("recorded trace to %s", record)
 	}
+	return nil
 }
 
 func modelName(m string) string {
@@ -357,47 +463,62 @@ func modelName(m string) string {
 	return m
 }
 
-// runBench runs the benchmark smoke suite: short canned specs timed by
-// the Runner, written as BENCH_*.json artifacts through the Result
-// encoder — the start of the perf trajectory.
-func runBench(opts []experiment.RunnerOption, out string) {
-	if out == "" {
-		out = "."
+// benchRegressionTolerance is the CI gate: a benchmark entry failing by
+// more than this fraction against the committed baseline fails the run.
+const benchRegressionTolerance = 0.15
+
+// runBench executes the benchmark suite (experiment.RunBench: Spec-driven
+// workloads through the ordinary Runner), writes BENCH_4.json, and, when
+// a baseline is given, fails on >15% calibration-normalized regression.
+func (a *app) runBench(baseline string) error {
+	dir := a.dir
+	if dir == "" {
+		dir = "."
 	}
-	if err := os.MkdirAll(out, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	o := experiment.Options{Quick: true, Seed: 1, MaxRatePoints: 3, CyclesOverride: 4000}
-	fig8, err := experiment.FigureSpecs("8", o)
+	start := time.Now()
+	rep, err := experiment.RunBench(context.Background())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	timing := experiment.NewSpec(
-		experiment.WithName("bench 4x4 sweep"),
-		experiment.WithTopology(4, 4),
-		experiment.WithArbiters("SPAA-rotary", "PIM1"),
-		experiment.WithRates(0.01, 0.03),
-		experiment.WithCycles(4000),
-		experiment.WithSeed(1),
-	)
-	for _, sp := range append(fig8, timing) {
-		start := time.Now()
-		res := runSpec(opts, sp)
-		path := filepath.Join(out, "BENCH_"+specSlug(sp, 0)+".json")
-		if err := res.WriteFile(path); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("%s: %v -> %s", sp.Name, time.Since(start).Round(time.Millisecond), path)
+	for _, e := range rep.Entries {
+		a.log.Printf("%-22s %8.1f ns/cycle  %7.2f allocs/cycle  %6.1f points/s",
+			e.Name, e.NSPerSimCycle, e.AllocsPerCycle, e.PointsPerSec)
 	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", experiment.BenchVersion))
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	a.log.Printf("wrote %s in %v (calibration %.2f ns/iter)", path,
+		time.Since(start).Round(time.Millisecond), rep.CalibrationNS)
+	if baseline == "" {
+		return nil
+	}
+	base, err := experiment.ReadBenchFile(baseline)
+	if err != nil {
+		return err
+	}
+	regressions := rep.Compare(base, benchRegressionTolerance)
+	for _, r := range regressions {
+		a.log.Printf("REGRESSION: %s", r)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% against %s",
+			len(regressions), 100*benchRegressionTolerance, baseline)
+	}
+	a.log.Printf("no regressions beyond %.0f%% against %s", 100*benchRegressionTolerance, baseline)
+	return nil
 }
 
 // matrixSpec parses the -matrix flags into a Spec.
-func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, size string, cycles int) experiment.Spec {
+func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, size string, cycles int) (experiment.Spec, error) {
 	var kinds []core.Kind
 	for _, name := range splitList(algos) {
 		k, err := core.ParseKind(name)
 		if err != nil {
-			log.Fatal(err)
+			return experiment.Spec{}, err
 		}
 		kinds = append(kinds, k)
 	}
@@ -405,7 +526,7 @@ func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, 
 	for _, name := range splitList(patterns) {
 		p, err := traffic.ParsePattern(name)
 		if err != nil {
-			log.Fatal(err)
+			return experiment.Spec{}, err
 		}
 		pats = append(pats, p)
 	}
@@ -414,27 +535,33 @@ func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, 
 	for _, f := range splitList(rates) {
 		r, err := strconv.ParseFloat(f, 64)
 		if err != nil || r <= 0 {
-			log.Fatalf("invalid rate %q", f)
+			return experiment.Spec{}, fmt.Errorf("invalid rate %q", f)
 		}
 		rs = append(rs, r)
 	}
 	if len(kinds) == 0 || len(pats) == 0 || len(procs) == 0 || len(rs) == 0 {
-		log.Fatal("matrix needs at least one algorithm, pattern, process, and rate")
+		return experiment.Spec{}, fmt.Errorf("matrix needs at least one algorithm, pattern, process, and rate")
 	}
-	base := baseSetup(o, size, cycles, o.Seed)
+	base, err := baseSetup(o, size, cycles, o.Seed)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
 	base.Model = model
 	sp := experiment.MatrixSpec(base, kinds, pats, procs, rs)
 	sp.Name = "Scenario matrix"
 	if err := sp.Validate(); err != nil {
-		log.Fatal(err)
+		return experiment.Spec{}, err
 	}
-	return sp
+	return sp, nil
 }
 
 // runSpecFromFlags parses the -run flags into a single-scenario Spec.
 func runSpecFromFlags(o experiment.Options, algo, pattern, process, model string,
-	rate float64, size string, cycles int, record, replay string) experiment.Spec {
-	base := baseSetup(o, size, cycles, o.Seed)
+	rate float64, size string, cycles int, record, replay string) (experiment.Spec, error) {
+	base, err := baseSetup(o, size, cycles, o.Seed)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
 	opts := []experiment.SpecOption{
 		experiment.WithName("run"),
 		experiment.WithTopology(base.Width, base.Height),
@@ -457,68 +584,69 @@ func runSpecFromFlags(o experiment.Options, algo, pattern, process, model string
 	}
 	sp := experiment.NewSpec(opts...)
 	if err := sp.Validate(); err != nil {
-		log.Fatal(err)
+		return experiment.Spec{}, err
 	}
-	return sp
+	return sp, nil
 }
 
-func printLists() {
-	fmt.Println("algorithms:", strings.Join(core.KindNames(), ", "))
-	fmt.Println("patterns:  ", strings.Join(traffic.PatternNames(), ", "))
-	fmt.Println("processes: ", strings.Join(workload.ProcessNames(), ", "))
-	fmt.Println("models:    ", strings.Join(workload.ModelNames(), ", "))
-	fmt.Println("figures:   ", strings.Join(experiment.FigureSpecNames(), ", "))
+func (a *app) printLists() {
+	fmt.Fprintln(a.out, "algorithms:", strings.Join(core.KindNames(), ", "))
+	fmt.Fprintln(a.out, "patterns:  ", strings.Join(traffic.PatternNames(), ", "))
+	fmt.Fprintln(a.out, "processes: ", strings.Join(workload.ProcessNames(), ", "))
+	fmt.Fprintln(a.out, "models:    ", strings.Join(workload.ModelNames(), ", "))
+	fmt.Fprintln(a.out, "figures:   ", strings.Join(experiment.FigureSpecNames(), ", "))
 }
 
-func writeCSV(dir, name string, tb experiment.Table) {
-	if dir == "" {
-		return
+func (a *app) writeCSV(name string, tb experiment.Table) error {
+	if a.dir == "" {
+		return nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(a.dir, 0o755); err != nil {
+		return err
 	}
-	path := filepath.Join(dir, name+".csv")
+	path := filepath.Join(a.dir, name+".csv")
 	if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("wrote %s", path)
+	a.log.Printf("wrote %s", path)
+	return nil
 }
 
 // writeJSONL writes the machine-readable Result stream next to the CSV.
-func writeJSONL(dir, name string, res *experiment.Result) {
-	if dir == "" {
-		return
+func (a *app) writeJSONL(name string, res *experiment.Result) error {
+	if a.dir == "" {
+		return nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(a.dir, 0o755); err != nil {
+		return err
 	}
-	path := filepath.Join(dir, name+".jsonl")
+	path := filepath.Join(a.dir, name+".jsonl")
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := res.EncodeJSONL(f); err != nil {
 		f.Close()
-		log.Fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("wrote %s", path)
+	a.log.Printf("wrote %s", path)
+	return nil
 }
 
 // parseSize parses "WxH" into torus dimensions.
-func parseSize(s string) (int, int) {
+func parseSize(s string) (int, int, error) {
 	parts := strings.SplitN(strings.ToLower(s), "x", 2)
 	if len(parts) == 2 {
 		w, errW := strconv.Atoi(strings.TrimSpace(parts[0]))
 		h, errH := strconv.Atoi(strings.TrimSpace(parts[1]))
 		if errW == nil && errH == nil && w >= 2 && h >= 2 {
-			return w, h
+			return w, h, nil
 		}
 	}
-	log.Fatalf("invalid -size %q (want WxH, e.g. 8x8)", s)
-	return 0, 0
+	return 0, 0, fmt.Errorf("invalid -size %q (want WxH, e.g. 8x8)", s)
 }
 
 func splitList(s string) []string {
@@ -531,10 +659,13 @@ func splitList(s string) []string {
 	return out
 }
 
-func baseSetup(o experiment.Options, size string, cycles int, seed uint64) experiment.TimingSetup {
-	w, h := parseSize(size)
+func baseSetup(o experiment.Options, size string, cycles int, seed uint64) (experiment.TimingSetup, error) {
+	w, h, err := parseSize(size)
+	if err != nil {
+		return experiment.TimingSetup{}, err
+	}
 	if cycles <= 0 {
 		cycles = o.TimingCycles()
 	}
-	return experiment.TimingSetup{Width: w, Height: h, Cycles: cycles, Seed: seed}
+	return experiment.TimingSetup{Width: w, Height: h, Cycles: cycles, Seed: seed}, nil
 }

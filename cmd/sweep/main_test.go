@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"alpha21364/internal/experiment"
+)
+
+// TestProgressGoesToStderrNotStdout pipes a -json -progress run through
+// captured buffers and checks the streams never interleave: stdout must
+// be pure Result JSONL (every line parses as a typed record), and every
+// progress line must be on stderr.
+func TestProgressGoesToStderrNotStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-run", "-algo", "SPAA-rotary", "-pattern", "random", "-process", "bernoulli",
+		"-rate", "0.02", "-size", "4x4", "-cycles", "400",
+		"-json", "-progress", "-workers", "1",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// stdout: strictly machine-readable JSONL.
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("stdout has %d lines, want at least header+series+point:\n%s", len(lines), stdout.String())
+	}
+	for i, line := range lines {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("stdout line %d is not JSON (progress leaked into stdout?): %q: %v", i+1, line, err)
+		}
+		switch probe.Type {
+		case "result", "series", "point":
+		default:
+			t.Fatalf("stdout line %d has unexpected record type %q", i+1, probe.Type)
+		}
+	}
+	// The stream must round-trip through the Result decoder.
+	res, err := experiment.DecodeResultJSONL(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("stdout is not a decodable Result stream: %v", err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 1 {
+		t.Fatalf("decoded result has wrong shape: %d series", len(res.Series))
+	}
+
+	// stderr: the progress lines (and only diagnostics) live here.
+	if !strings.Contains(stderr.String(), "start ") && !strings.Contains(stderr.String(), "[") {
+		t.Fatalf("expected progress lines on stderr, got:\n%s", stderr.String())
+	}
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			t.Fatalf("JSONL leaked into stderr: %q", line)
+		}
+	}
+}
+
+// TestTableOutputStdoutSeparation covers the default (non-JSON) path:
+// tables on stdout, progress on stderr.
+func TestTableOutputStdoutSeparation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-run", "-algo", "PIM1", "-rate", "0.02", "-size", "4x4", "-cycles", "300",
+		"-progress", "-workers", "1",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "flits/router/ns") {
+		t.Fatalf("stdout missing the run summary:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "sweep:") {
+		t.Fatalf("diagnostics leaked into stdout:\n%s", stdout.String())
+	}
+}
+
+// TestContradictoryFlagsRejected spot-checks the flag contradiction
+// rules surface as errors, not silent behavior.
+func TestContradictoryFlagsRejected(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "-figure", "8"},
+		{"-bench-baseline", "x.json"},
+		{"-emit-spec", "-json"},
+		{"-record", "a", "-replay", "b"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestBenchWritesReport runs the bench suite into a temp dir and
+// validates the BENCH_4.json schema, plus the baseline comparison paths.
+func TestBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite is seconds-long; skipped in -short")
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "-out", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("bench: %v\nstderr:\n%s", err, stderr.String())
+	}
+	rep, err := experiment.ReadBenchFile(dir + "/BENCH_4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 || rep.CalibrationNS <= 0 {
+		t.Fatalf("bench report malformed: %+v", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.NSPerSimCycle <= 0 || e.SimCycles <= 0 {
+			t.Fatalf("bench entry %s has empty measurements: %+v", e.Name, e)
+		}
+	}
+	// Comparing a report against itself must pass the gate...
+	if regs := rep.Compare(rep, 0.15); len(regs) != 0 {
+		t.Fatalf("self-comparison reported regressions: %v", regs)
+	}
+	// ...and a doctored 2x-faster baseline must fail it.
+	faster := *rep
+	faster.Entries = append([]experiment.BenchEntryResult(nil), rep.Entries...)
+	for i := range faster.Entries {
+		faster.Entries[i].NSPerSimCycle /= 2
+	}
+	if regs := rep.Compare(&faster, 0.15); len(regs) == 0 {
+		t.Fatal("2x regression not detected against doctored baseline")
+	}
+}

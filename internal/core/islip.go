@@ -25,6 +25,7 @@ type ISLIP struct {
 	rowMask    []uint64
 	matchRow   []int
 	matchCol   []int
+	grants     []Grant // reused across calls
 }
 
 // NewISLIP returns an iSLIP scheduler with the given iteration count.
@@ -103,11 +104,12 @@ func (a *ISLIP) Arbitrate(m *Matrix) []Grant {
 		}
 	}
 
-	grants := make([]Grant, 0, m.Cols)
+	grants := a.grants[:0]
 	for r := 0; r < m.Rows; r++ {
 		if c := matchRow[r]; c != -1 {
 			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
 		}
 	}
+	a.grants = grants
 	return grants
 }

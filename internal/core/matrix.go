@@ -139,6 +139,11 @@ type Grant struct {
 // most one grant per row and per column, each on a valid cell. Arbiters
 // carry their own prioritization state (round-robin pointers, LRS
 // matrices, RNG) across calls.
+//
+// To keep the per-cycle hot path allocation-free, implementations return
+// an internally reused slice: the grants are valid only until the next
+// Arbitrate call on the same arbiter. Callers that need to retain them
+// must copy.
 type Arbiter interface {
 	Name() string
 	Arbitrate(m *Matrix) []Grant

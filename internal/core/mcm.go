@@ -16,6 +16,7 @@ type MCM struct {
 	matchCol []int // col -> row or -1
 	dist     []int
 	queue    []int
+	grants   []Grant // reused across calls
 }
 
 // NewMCM returns the exhaustive matcher.
@@ -96,12 +97,13 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 		}
 	}
 
-	grants := make([]Grant, 0, m.Cols)
+	grants := a.grants[:0]
 	for r := 0; r < m.Rows; r++ {
 		if c := matchRow[r]; c != -1 {
 			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
 		}
 	}
+	a.grants = grants
 	return grants
 }
 

@@ -7,16 +7,25 @@ package core
 // output, OPF suffers arbitration collisions and delivers a poor matching —
 // the motivating example for the interaction machinery in PIM and WFA, and
 // the baseline SPAA's matching capability is compared to.
-type OPF struct{}
+type OPF struct {
+	// scratch, reused across calls
+	noms   []opfNom
+	grants []Grant
+}
+
+type opfNom struct {
+	row, col int
+	cell     Cell
+}
 
 // NewOPF returns the oldest-packet-first strawman.
 func NewOPF() *OPF { return &OPF{} }
 
 // Name implements Arbiter.
-func (OPF) Name() string { return "OPF" }
+func (*OPF) Name() string { return "OPF" }
 
 // Arbitrate implements Arbiter.
-func (OPF) Arbitrate(m *Matrix) []Grant {
+func (a *OPF) Arbitrate(m *Matrix) []Grant {
 	// Group rows by input port; each port offers its overall-oldest packet.
 	ports := 0
 	for _, p := range m.RowPort {
@@ -24,11 +33,7 @@ func (OPF) Arbitrate(m *Matrix) []Grant {
 			ports = int(p) + 1
 		}
 	}
-	type nom struct {
-		row, col int
-		cell     Cell
-	}
-	noms := make([]nom, 0, ports)
+	noms := a.noms[:0]
 	for p := 0; p < ports; p++ {
 		bestRow, bestCol := -1, -1
 		var best Cell
@@ -48,11 +53,12 @@ func (OPF) Arbitrate(m *Matrix) []Grant {
 			}
 		}
 		if bestRow != -1 {
-			noms = append(noms, nom{bestRow, bestCol, best})
+			noms = append(noms, opfNom{bestRow, bestCol, best})
 		}
 	}
+	a.noms = noms
 	// Each output port serves the oldest nomination; collisions lose.
-	var grants []Grant
+	grants := a.grants[:0]
 	for c := 0; c < m.Cols; c++ {
 		best := -1
 		for i, n := range noms {
@@ -68,5 +74,6 @@ func (OPF) Arbitrate(m *Matrix) []Grant {
 			grants = append(grants, Grant{Row: noms[best].row, Col: c, Cell: noms[best].cell})
 		}
 	}
+	a.grants = grants
 	return grants
 }

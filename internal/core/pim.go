@@ -27,6 +27,8 @@ type PIM struct {
 	rowMask    []uint64 // scratch: grants received per row this iteration
 	matchRow   []int
 	matchCol   []int
+	reqs       []int   // scratch: per-column requester list
+	grants     []Grant // reused across calls
 }
 
 // NewPIM returns a PIM arbiter running the given number of iterations.
@@ -84,12 +86,13 @@ func (a *PIM) Arbitrate(m *Matrix) []Grant {
 			if matchCol[c] != -1 {
 				continue
 			}
-			var requesters []int
+			requesters := a.reqs[:0]
 			for r := 0; r < m.Rows; r++ {
 				if matchRow[r] == -1 && m.At(r, c).Valid {
 					requesters = append(requesters, r)
 				}
 			}
+			a.reqs = requesters
 			if len(requesters) == 0 {
 				continue
 			}
@@ -112,11 +115,12 @@ func (a *PIM) Arbitrate(m *Matrix) []Grant {
 		}
 	}
 
-	grants := make([]Grant, 0, m.Cols)
+	grants := a.grants[:0]
 	for r := 0; r < m.Rows; r++ {
 		if c := matchRow[r]; c != -1 {
 			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
 		}
 	}
+	a.grants = grants
 	return grants
 }

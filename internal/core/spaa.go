@@ -32,10 +32,13 @@ type SPAA struct {
 	// nominated to either of its two adaptive directions.
 	colPref []int
 
-	// scratch
+	// scratch, reused across calls so steady-state arbitration does not
+	// allocate
 	nomRow  []int
 	nomNet  []bool
 	nomCell []Cell
+	noms    []Grant
+	grants  []Grant
 }
 
 // NewSPAA returns SPAA with the least-recently-selected grant policy.
@@ -81,13 +84,14 @@ func (a *SPAA) Nominate(m *Matrix) []Grant {
 		a.colPref = make([]int, m.Rows)
 	}
 
-	noms := make([]Grant, 0, ports)
+	noms := a.noms[:0]
 	for p := 0; p < ports; p++ {
 		row, col, ok := a.nominatePort(m, p)
 		if ok {
 			noms = append(noms, Grant{Row: row, Col: col, Cell: m.At(row, col)})
 		}
 	}
+	a.noms = noms
 	return noms
 }
 
@@ -144,7 +148,7 @@ func (a *SPAA) nominatePort(m *Matrix, port int) (row, col int, ok bool) {
 // router their nomination lock is cleared).
 func (a *SPAA) Grant(m *Matrix, noms []Grant) []Grant {
 	policy := a.Policy(m.Rows, m.Cols)
-	grants := make([]Grant, 0, len(noms))
+	grants := a.grants[:0]
 	for c := 0; c < m.Cols; c++ {
 		a.nomRow = a.nomRow[:0]
 		a.nomNet = a.nomNet[:0]
@@ -162,6 +166,7 @@ func (a *SPAA) Grant(m *Matrix, noms []Grant) []Grant {
 		w := policy.Select(c, a.nomRow, a.nomNet)
 		grants = append(grants, Grant{Row: a.nomRow[w], Col: c, Cell: a.nomCell[w]})
 	}
+	a.grants = grants
 	return grants
 }
 

@@ -23,6 +23,7 @@ type WFA struct {
 	counter int64
 	rowUsed []bool
 	colUsed []bool
+	grants  []Grant // reused across calls
 }
 
 // NewWFA returns the base wave-front arbiter (round-robin start).
@@ -59,7 +60,7 @@ func (a *WFA) Arbitrate(m *Matrix) []Grant {
 		colUsed[i] = false
 	}
 
-	var grants []Grant
+	grants := a.grants[:0]
 	if a.rotary {
 		// Rotary Rule: network-input rows sweep first at rotating priority;
 		// local rows then fill the remaining columns.
@@ -69,6 +70,7 @@ func (a *WFA) Arbitrate(m *Matrix) []Grant {
 		grants = a.wave(m, rowUsed, colUsed, func(int) bool { return true }, grants)
 	}
 	a.counter++
+	a.grants = grants
 	return grants
 }
 

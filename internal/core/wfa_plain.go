@@ -14,6 +14,7 @@ package core
 type WFAPlain struct {
 	rowUsed []bool
 	colUsed []bool
+	grants  []Grant // reused across calls
 }
 
 // NewWFAPlain returns the fixed-priority, non-wrapped wave-front arbiter.
@@ -38,7 +39,7 @@ func (a *WFAPlain) Arbitrate(m *Matrix) []Grant {
 	for i := range colUsed {
 		colUsed[i] = false
 	}
-	var grants []Grant
+	grants := a.grants[:0]
 	for d := 0; d <= m.Rows+m.Cols-2; d++ {
 		// Plain diagonal d: cells (i, d-i). Conflict-free within the
 		// diagonal, strictly ordered across diagonals.
@@ -55,5 +56,6 @@ func (a *WFAPlain) Arbitrate(m *Matrix) []Grant {
 			grants = append(grants, Grant{Row: i, Col: j, Cell: m.At(i, j)})
 		}
 	}
+	a.grants = grants
 	return grants
 }

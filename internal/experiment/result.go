@@ -63,8 +63,9 @@ type ResultPoint struct {
 	Throughput float64 `json:"throughput,omitempty"`
 	// AvgLatencyNS is the mean packet latency.
 	AvgLatencyNS float64 `json:"avg_latency_ns,omitempty"`
-	// LatencyP50NS, LatencyP95NS, and LatencyP99NS are histogram-derived
-	// upper bounds on the latency quantiles.
+	// LatencyP50NS, LatencyP95NS, and LatencyP99NS are the latency
+	// quantiles, exact to the tick below 5.46 µs (above that they are
+	// histogram-derived upper bounds).
 	LatencyP50NS float64 `json:"latency_p50_ns,omitempty"`
 	LatencyP95NS float64 `json:"latency_p95_ns,omitempty"`
 	LatencyP99NS float64 `json:"latency_p99_ns,omitempty"`

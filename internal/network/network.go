@@ -35,9 +35,48 @@ type Network struct {
 	routers   []*router.Router
 	collector *stats.Collector
 	onDeliver DeliverHandler
+	// deliverH is the registered sink handler: local-port deliveries post
+	// through it instead of allocating a closure per packet.
+	deliverH sim.HandlerID
 	// linkFlight counts packets dispatched onto a link but not yet
 	// committed to the neighbor's buffer (conservation accounting).
 	linkFlight int64
+}
+
+// link is one directed inter-router wire. Its receive-side handler is
+// registered once at wiring time, so a packet flight costs one pooled
+// event node and no allocation: the payload is the packet pointer, the
+// arrival tick, and the target channel; everything else (neighbor, input
+// port, upstream credit pool) is fixed per link.
+type link struct {
+	n        *Network
+	neighbor *router.Router
+	in       ports.In
+	latency  sim.Ticks
+	credits  *vc.Credits // the sending output port's pool
+	h        sim.HandlerID
+}
+
+// send implements router.SendFunc for the link.
+func (l *link) send(p *packet.Packet, targetCh vc.Channel, headerDepart sim.Ticks, creditHome *vc.Credits) {
+	arriveAt := headerDepart + l.latency
+	l.n.linkFlight++
+	if creditHome == l.credits {
+		l.n.eng.Post(arriveAt, l.h, sim.EventArgs{A: int64(arriveAt), B: int64(targetCh), P: p})
+		return
+	}
+	// A caller substituted its own credit pool (tests wiring custom
+	// topologies); fall back to the closure path.
+	l.n.eng.Schedule(arriveAt, func() {
+		l.n.linkFlight--
+		l.neighbor.Arrive(p, l.in, targetCh, arriveAt, creditHome)
+	})
+}
+
+// arrive is the link's registered receive handler.
+func (l *link) arrive(args sim.EventArgs) {
+	l.n.linkFlight--
+	l.neighbor.Arrive(args.P.(*packet.Packet), l.in, vc.Channel(args.B), sim.Ticks(args.A), l.credits)
 }
 
 // New builds and wires the network and attaches every router to a router-
@@ -58,13 +97,21 @@ func New(cfg Config, eng *sim.Engine, collector *stats.Collector) (*Network, err
 		}
 		n.routers[node] = r
 	}
+	n.deliverH = eng.RegisterHandler(n.deliverEvent)
 	linkLatency := sim.Ticks(cfg.Router.LinkLatencyCycles) * cfg.Router.LinkPeriod
 	for node := 0; node < torus.Nodes(); node++ {
 		r := n.routers[node]
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
-			neighbor := n.routers[torus.Neighbor(topology.Node(node), d)]
-			inPort := ports.InFromDir(d.Opposite())
-			r.ConnectNetwork(ports.OutForDir(d), n.makeLink(neighbor, inPort, linkLatency))
+			out := ports.OutForDir(d)
+			l := &link{
+				n:        n,
+				neighbor: n.routers[torus.Neighbor(topology.Node(node), d)],
+				in:       ports.InFromDir(d.Opposite()),
+				latency:  linkLatency,
+			}
+			l.h = eng.RegisterHandler(l.arrive)
+			r.ConnectNetwork(out, l.send)
+			l.credits = r.OutputCredits(out)
 		}
 		for _, out := range []ports.Out{ports.OutMC0, ports.OutMC1, ports.OutIO} {
 			r.ConnectLocal(out, n.makeSink())
@@ -78,31 +125,23 @@ func New(cfg Config, eng *sim.Engine, collector *stats.Collector) (*Network, err
 	return n, nil
 }
 
-// makeLink returns the SendFunc for one directed link: the packet's header
-// crosses the wire in linkLatency and is then committed to the neighbor's
-// input buffer (the credit was reserved by the sender).
-func (n *Network) makeLink(neighbor *router.Router, in ports.In, linkLatency sim.Ticks) router.SendFunc {
-	return func(p *packet.Packet, targetCh vc.Channel, headerDepart sim.Ticks, creditHome *vc.Credits) {
-		arriveAt := headerDepart + linkLatency
-		n.linkFlight++
-		n.eng.Schedule(arriveAt, func() {
-			n.linkFlight--
-			neighbor.Arrive(p, in, targetCh, arriveAt, creditHome)
-		})
+// makeSink returns the DeliverFunc for a local output port: the delivery
+// is posted through the shared sink handler, which records statistics and
+// notifies the traffic model at the time the last flit reaches the
+// processor.
+func (n *Network) makeSink() router.DeliverFunc {
+	return func(p *packet.Packet, at sim.Ticks) {
+		n.eng.Post(at, n.deliverH, sim.EventArgs{A: int64(at), P: p})
 	}
 }
 
-// makeSink returns the DeliverFunc for a local output port: statistics are
-// recorded and the traffic model notified at the time the last flit
-// reaches the processor.
-func (n *Network) makeSink() router.DeliverFunc {
-	return func(p *packet.Packet, at sim.Ticks) {
-		n.eng.Schedule(at, func() {
-			n.collector.Delivered(p, at)
-			if n.onDeliver != nil {
-				n.onDeliver(p, at)
-			}
-		})
+// deliverEvent is the registered sink handler.
+func (n *Network) deliverEvent(args sim.EventArgs) {
+	p := args.P.(*packet.Packet)
+	at := sim.Ticks(args.A)
+	n.collector.Delivered(p, at)
+	if n.onDeliver != nil {
+		n.onDeliver(p, at)
 	}
 }
 

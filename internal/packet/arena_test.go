@@ -1,0 +1,116 @@
+package packet
+
+import "testing"
+
+func TestArenaNewMatchesPacketNew(t *testing.T) {
+	a := NewArena()
+	got := a.New(7, BlockResponse, 3, 12, 450)
+	want := New(7, BlockResponse, 3, 12, 450)
+	if got.ID != want.ID || got.Class != want.Class || got.Flits != want.Flits ||
+		got.Src != want.Src || got.Dst != want.Dst || got.Created != want.Created {
+		t.Fatalf("arena packet %+v differs from packet.New %+v", got, want)
+	}
+}
+
+func TestArenaReuseAndGenerations(t *testing.T) {
+	a := NewArena()
+	p1 := a.New(1, Request, 0, 1, 0)
+	r1 := a.Ref(p1)
+	if a.Get(r1) != p1 {
+		t.Fatal("live ref did not resolve")
+	}
+	if a.Live() != 1 {
+		t.Fatalf("live = %d, want 1", a.Live())
+	}
+	a.Release(p1)
+	if a.Live() != 0 {
+		t.Fatalf("live = %d after release, want 0", a.Live())
+	}
+	if a.Get(r1) != nil {
+		t.Fatal("stale ref resolved after release")
+	}
+	// The slot is recycled; the old ref must stay stale.
+	p2 := a.New(2, Forward, 2, 3, 10)
+	if a.Get(r1) != nil {
+		t.Fatal("stale ref resolved against recycled slot")
+	}
+	if r2 := a.Ref(p2); a.Get(r2) != p2 {
+		t.Fatal("recycled slot's new ref did not resolve")
+	}
+}
+
+func TestArenaPointerStabilityAcrossGrowth(t *testing.T) {
+	a := NewArena()
+	var ptrs []*Packet
+	for i := 0; i < arenaChunkSize*3+5; i++ {
+		ptrs = append(ptrs, a.New(uint64(i+1), Request, 0, 1, 0))
+	}
+	for i, p := range ptrs {
+		if p.ID != uint64(i+1) {
+			t.Fatalf("packet %d corrupted after growth: id %d", i, p.ID)
+		}
+	}
+	if a.Cap() < arenaChunkSize*4 {
+		t.Fatalf("cap = %d, want at least %d", a.Cap(), arenaChunkSize*4)
+	}
+}
+
+func TestArenaDoubleReleasePanics(t *testing.T) {
+	a := NewArena()
+	p := a.New(1, Request, 0, 1, 0)
+	a.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	a.Release(p)
+}
+
+func TestArenaForeignPacketPanics(t *testing.T) {
+	a := NewArena()
+	p := New(1, Request, 0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a non-arena packet did not panic")
+		}
+	}()
+	a.Release(p)
+}
+
+func TestArenaOwns(t *testing.T) {
+	a, b := NewArena(), NewArena()
+	p := a.New(1, Request, 0, 1, 0)
+	if !a.Owns(p) {
+		t.Fatal("arena does not own its packet")
+	}
+	if b.Owns(p) {
+		t.Fatal("foreign arena claims ownership")
+	}
+	if a.Owns(New(2, Request, 0, 1, 0)) {
+		t.Fatal("arena claims plain packet")
+	}
+	a.Release(p)
+	if a.Owns(p) {
+		t.Fatal("arena owns a released packet")
+	}
+}
+
+func TestArenaAllocFree(t *testing.T) {
+	a := NewArena()
+	// Warm the arena past its high-water mark.
+	var held []*Packet
+	for i := 0; i < 64; i++ {
+		held = append(held, a.New(uint64(i), Request, 0, 1, 0))
+	}
+	for _, p := range held {
+		a.Release(p)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p := a.New(99, BlockResponse, 1, 2, 5)
+		a.Release(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state New/Release allocates %.1f/op, want 0", allocs)
+	}
+}

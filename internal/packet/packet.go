@@ -72,6 +72,10 @@ type Packet struct {
 	Created sim.Ticks // when the packet was handed to its source local port
 	TxnID   uint64    // owning coherence transaction, 0 if none
 	Hops    int       // router-to-router hops taken so far
+
+	// arena bookkeeping, set only for packets drawn from an Arena.
+	arena *Arena
+	ref   Ref
 }
 
 // New returns a packet of the given class with the class's flit count.

@@ -1,0 +1,59 @@
+// Package prof is the shared pprof plumbing behind the binaries'
+// -cpuprofile and -memprofile flags.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpu is non-empty) and returns the
+// cleanup func that stops it and writes the heap profile (when mem is
+// non-empty). logf receives one line per profile written. Use as:
+//
+//	stop, err := prof.Start(cpu, mem, logf)
+//	if err != nil { ... }
+//	defer stop()
+func Start(cpu, mem string, logf func(format string, args ...any)) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			logf("wrote CPU profile to %s", cpu)
+		}
+		if mem != "" {
+			if err := writeHeap(mem); err != nil {
+				logf("memprofile: %v", err)
+				return
+			}
+			logf("wrote heap profile to %s", mem)
+		}
+	}, nil
+}
+
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -18,6 +18,17 @@ type move struct {
 	local    bool
 }
 
+// routeEntry is the precomputed static routing decision toward one
+// destination: the minimal-rectangle productive directions and the
+// dimension-order escape hop with its dateline sub-channel.
+type routeEntry struct {
+	dirs   [2]topology.Dir
+	nDirs  int
+	dor    topology.Dir
+	dorSub vc.Sub
+	dorOK  bool
+}
+
 // rowFor returns the read-port row of input in that the crossbar connects
 // to out, or -1 if neither read port reaches it.
 func (r *Router) rowFor(in ports.In, out ports.Out) int {
@@ -61,11 +72,12 @@ func localOut(p *packet.Packet) ports.Out {
 // A move is ready when the output port will be free at grant time, the
 // crossbar connects one of the input's read ports to it, and (for network
 // moves) the downstream virtual channel has a free packet buffer.
-func (r *Router) readyMoves(pk *pkState, gaTick sim.Ticks, dst []move) []move {
-	p := pk.pkt
+func (r *Router) readyMoves(pk int32, gaTick sim.Ticks, dst []move) []move {
+	p := r.slab.pkt[pk]
+	in := r.slab.in[pk]
 	if p.Dst == r.node {
 		out := localOut(p)
-		row := r.rowFor(pk.in, out)
+		row := r.rowFor(in, out)
 		if row >= 0 && r.outputs[out].freeForGrant(gaTick, r.postArbTicks) {
 			dst = append(dst, move{out: out, row: row, local: true})
 		}
@@ -73,16 +85,17 @@ func (r *Router) readyMoves(pk *pkState, gaTick sim.Ticks, dst []move) []move {
 	}
 
 	cls := p.Class
+	route := &r.routes[p.Dst]
 	if !cls.IsIO() {
 		adaptiveCh := vc.Of(cls, vc.Adaptive)
-		dirs := r.torus.ProductiveDirs(r.node, p.Dst)
+		dirs := route.dirs
 		// Rotate which productive direction is preferred so traffic spreads
 		// over both minimal-rectangle sides.
-		if len(dirs) == 2 && r.dirPref[pk.in]&1 == 1 {
+		if route.nDirs == 2 && r.dirPref[in]&1 == 1 {
 			dirs[0], dirs[1] = dirs[1], dirs[0]
 		}
-		for _, d := range dirs {
-			if m, ok := r.networkMove(pk, d, adaptiveCh, gaTick); ok {
+		for _, d := range dirs[:route.nDirs] {
+			if m, ok := r.networkMove(in, d, adaptiveCh, gaTick); ok {
 				dst = append(dst, m)
 			}
 		}
@@ -93,23 +106,18 @@ func (r *Router) readyMoves(pk *pkState, gaTick sim.Ticks, dst []move) []move {
 
 	// Blocked in the adaptive channel (or an I/O packet): deadlock-free
 	// escape along dimension order.
-	d, ok := r.torus.DORDir(r.node, p.Dst)
-	if !ok {
+	if !route.dorOK {
 		return dst
 	}
-	sub := vc.VC0
-	if r.torus.WrapsAhead(r.node, p.Dst, d) {
-		sub = vc.VC1
-	}
-	if m, ok := r.networkMove(pk, d, vc.Of(cls, sub), gaTick); ok {
+	if m, ok := r.networkMove(in, route.dor, vc.Of(cls, route.dorSub), gaTick); ok {
 		dst = append(dst, m)
 	}
 	return dst
 }
 
-func (r *Router) networkMove(pk *pkState, d topology.Dir, targetCh vc.Channel, gaTick sim.Ticks) (move, bool) {
+func (r *Router) networkMove(in ports.In, d topology.Dir, targetCh vc.Channel, gaTick sim.Ticks) (move, bool) {
 	out := ports.OutForDir(d)
-	row := r.rowFor(pk.in, out)
+	row := r.rowFor(in, out)
 	if row < 0 {
 		return move{}, false
 	}

@@ -26,8 +26,9 @@ type Counters struct {
 }
 
 // nomination is one SPAA in-flight nomination traveling LA -> RE -> GA.
+// pk is a slab handle.
 type nomination struct {
-	pk        *pkState
+	pk        int32
 	row       int
 	out       ports.Out
 	targetCh  vc.Channel
@@ -35,9 +36,10 @@ type nomination struct {
 	resolveAt sim.Ticks
 }
 
-// waveCell carries the packet and move behind one wave-matrix cell.
+// waveCell carries the packet and move behind one wave-matrix cell; pk is
+// a slab handle, -1 when the cell is empty.
 type waveCell struct {
-	pk       *pkState
+	pk       int32
 	targetCh vc.Channel
 	local    bool
 }
@@ -50,7 +52,22 @@ type Router struct {
 	torus topology.Torus
 	rng   *sim.RNG
 
-	inputs  [ports.NumIn]*inputPort
+	// Packet state lives in a struct-of-arrays slab; the per-(input port,
+	// channel) queues are fixed-capacity index rings over it, and the
+	// remaining per-input-port state is flattened into router-level
+	// arrays so arbitration scans walk contiguous memory.
+	slab   pkSlab
+	queues [ports.NumIn][vc.NumChannels]vc.Ring
+	// lru[in] is the least-recently-selected ordering over virtual
+	// channels: the front is the channel selected longest ago. The
+	// 21364's input arbiter "selects the oldest packet ... from the
+	// least-recently selected virtual channel" (§3).
+	lru [ports.NumIn][vc.NumChannels]vc.Channel
+	// feeders hold the injection credits for local ports (the processor's
+	// view of the buffer's free space); nil for network inputs, whose
+	// credits live at the upstream router's output port.
+	feeders [ports.NumIn]*vc.Credits
+
 	outputs [ports.NumOut]*outputPort
 
 	// SPAA pipeline state.
@@ -70,6 +87,12 @@ type Router struct {
 	// Anti-starvation drain (§3.4).
 	oldCount int
 	draining bool
+
+	// routes[dst] caches the static routing decision toward every node:
+	// productive directions, the dimension-order escape hop, and its
+	// dateline sub-channel. readyMoves consults it instead of redoing the
+	// torus offset arithmetic per scan.
+	routes []routeEntry
 
 	// Derived tick quantities.
 	postArbTicks sim.Ticks
@@ -110,10 +133,33 @@ func New(cfg Config, node topology.Node, torus topology.Torus) (*Router, error) 
 	}
 	r.waveGaOffset = sim.Ticks(waveGa) * cfg.RouterPeriod
 	for in := ports.In(0); in < ports.NumIn; in++ {
-		r.inputs[in] = newInputPort(in, cfg)
+		initQueues(&r.queues[in], cfg.Buffers)
+		for ch := vc.Channel(0); ch < vc.NumChannels; ch++ {
+			r.lru[in][ch] = ch
+		}
+		if !in.IsNetwork() {
+			r.feeders[in] = vc.NewCredits(cfg.Buffers)
+		}
+	}
+	for row := range r.waveCells {
+		for col := range r.waveCells[row] {
+			r.waveCells[row][col].pk = -1
+		}
 	}
 	for out := ports.Out(0); out < ports.NumOut; out++ {
 		r.outputs[out] = &outputPort{id: out}
+	}
+	r.routes = make([]routeEntry, torus.Nodes())
+	for dst := 0; dst < torus.Nodes(); dst++ {
+		e := &r.routes[dst]
+		e.dirs, e.nDirs = torus.ProductiveDirsFixed(node, topology.Node(dst))
+		if d, ok := torus.DORDir(node, topology.Node(dst)); ok {
+			e.dorOK, e.dor = true, d
+			e.dorSub = vc.VC0
+			if torus.WrapsAhead(node, topology.Node(dst), d) {
+				e.dorSub = vc.VC1
+			}
+		}
 	}
 	switch cfg.Kind {
 	case core.KindSPAABase, core.KindSPAARotary:
@@ -163,10 +209,27 @@ func (r *Router) injectionChannel(p *packet.Packet) vc.Channel {
 		return vc.Of(p.Class, vc.Adaptive)
 	}
 	sub := vc.VC0
-	if d, ok := r.torus.DORDir(r.node, p.Dst); ok && r.torus.WrapsAhead(r.node, p.Dst, d) {
-		sub = vc.VC1
+	if route := &r.routes[p.Dst]; route.dorOK {
+		sub = route.dorSub
 	}
 	return vc.Of(p.Class, sub)
+}
+
+// addPacket checks a packet into the slab and its queue.
+func (r *Router) addPacket(p *packet.Packet, in ports.In, ch vc.Channel,
+	headerArrive, tailArrive, eligibleAt sim.Ticks, upstream *vc.Credits) {
+	idx := r.slab.alloc()
+	s := &r.slab
+	s.pkt[idx] = p
+	s.ch[idx] = ch
+	s.in[idx] = in
+	s.headerArrive[idx] = headerArrive
+	s.tailArrive[idx] = tailArrive
+	s.eligibleAt[idx] = eligibleAt
+	s.flags[idx] = 0
+	s.upstream[idx] = upstream
+	s.upstreamCh[idx] = ch
+	r.queues[in][ch].Push(idx)
 }
 
 // Inject offers a packet to a local input port at time now. It returns
@@ -177,23 +240,17 @@ func (r *Router) Inject(p *packet.Packet, in ports.In, now sim.Ticks) bool {
 	if in.IsNetwork() {
 		panic(fmt.Sprintf("router: cannot inject on network port %v", in))
 	}
-	ip := r.inputs[in]
+	feeder := r.feeders[in]
 	ch := r.injectionChannel(p)
-	if !ip.feeder.Available(ch) {
+	if !feeder.Available(ch) {
 		return false
 	}
-	ip.feeder.Reserve(ch)
-	pk := &pkState{
-		pkt:          p,
-		ch:           ch,
-		in:           in,
-		headerArrive: now,
-		tailArrive:   now + sim.Ticks(p.Flits-1)*r.cfg.RouterPeriod,
-		eligibleAt:   now + sim.Ticks(r.cfg.PreArbLocal)*r.cfg.RouterPeriod,
-		upstream:     ip.feeder,
-		upstreamCh:   ch,
-	}
-	ip.queues[ch] = append(ip.queues[ch], pk)
+	feeder.Reserve(ch)
+	r.addPacket(p, in, ch,
+		now,
+		now+sim.Ticks(p.Flits-1)*r.cfg.RouterPeriod,
+		now+sim.Ticks(r.cfg.PreArbLocal)*r.cfg.RouterPeriod,
+		feeder)
 	r.Counters.Injected++
 	return true
 }
@@ -206,7 +263,7 @@ func (r *Router) InjectionSpace(in ports.In, cl packet.Class, dst topology.Node)
 		panic(fmt.Sprintf("router: %v is not a local port", in))
 	}
 	p := packet.Packet{Class: cl, Dst: dst}
-	return r.inputs[in].feeder.Free(r.injectionChannel(&p))
+	return r.feeders[in].Free(r.injectionChannel(&p))
 }
 
 // OutputCredits exposes a network output port's downstream credit pool;
@@ -224,30 +281,25 @@ func (r *Router) OutputCredits(out ports.Out) *vc.Credits {
 // packet leaves this router.
 func (r *Router) Arrive(p *packet.Packet, in ports.In, targetCh vc.Channel,
 	headerArrive sim.Ticks, creditHome *vc.Credits) {
-	ip := r.inputs[in]
-	if len(ip.queues[targetCh]) >= r.cfg.Buffers.Capacity(targetCh) {
+	if r.queues[in][targetCh].Len() >= r.cfg.Buffers.Capacity(targetCh) {
 		panic(fmt.Sprintf("router %d: buffer overflow on %v/%v — credit accounting broken",
 			r.node, in, targetCh))
 	}
-	pk := &pkState{
-		pkt:          p,
-		ch:           targetCh,
-		in:           in,
-		headerArrive: headerArrive,
-		tailArrive:   headerArrive + sim.Ticks(p.Flits-1)*r.cfg.LinkPeriod,
-		eligibleAt:   headerArrive + sim.Ticks(r.cfg.PreArbNetwork)*r.cfg.RouterPeriod,
-		upstream:     creditHome,
-		upstreamCh:   targetCh,
-	}
-	ip.queues[targetCh] = append(ip.queues[targetCh], pk)
+	r.addPacket(p, in, targetCh,
+		headerArrive,
+		headerArrive+sim.Ticks(p.Flits-1)*r.cfg.LinkPeriod,
+		headerArrive+sim.Ticks(r.cfg.PreArbNetwork)*r.cfg.RouterPeriod,
+		creditHome)
 	r.Counters.Arrived++
 }
 
 // Buffered returns the number of packets buffered at the router.
 func (r *Router) Buffered() int {
 	n := 0
-	for _, ip := range r.inputs {
-		n += ip.buffered()
+	for in := range r.queues {
+		for ch := range r.queues[in] {
+			n += r.queues[in][ch].Len()
+		}
 	}
 	return n
 }
@@ -285,11 +337,11 @@ func (r *Router) tickSPAA(now sim.Ticks) {
 	r.nextLA = now + sim.Ticks(r.cfg.InitInterval)*r.cfg.RouterPeriod
 	gaTick := now + r.gaOffset
 	for in := ports.In(0); in < ports.NumIn; in++ {
-		pk, mv, ok := r.findNomination(r.inputs[in], now, gaTick)
+		pk, mv, ok := r.findNomination(in, now, gaTick)
 		if !ok {
 			continue
 		}
-		pk.nominated = true
+		r.slab.flags[pk] |= pkNominated
 		r.dirPref[in]++
 		r.noms = append(r.noms, nomination{
 			pk: pk, row: mv.row, out: mv.out, targetCh: mv.targetCh,
@@ -302,48 +354,51 @@ func (r *Router) tickSPAA(now sim.Ticks) {
 // findNomination implements the 21364 input port arbiter: the oldest
 // packet satisfying the basic constraints from the least-recently selected
 // virtual channel (§3).
-func (r *Router) findNomination(ip *inputPort, now, gaTick sim.Ticks) (*pkState, move, bool) {
-	for _, ch := range ip.lru {
-		q := ip.queues[ch]
-		if len(q) == 0 {
+func (r *Router) findNomination(in ports.In, now, gaTick sim.Ticks) (int32, move, bool) {
+	s := &r.slab
+	for _, ch := range r.lru[in] {
+		q := &r.queues[in][ch]
+		if q.Len() == 0 {
 			continue
 		}
-		limit := len(q)
+		limit := q.Len()
 		if limit > r.cfg.Window {
 			limit = r.cfg.Window
 		}
-		var bestPk *pkState
+		best := int32(-1)
 		var bestMove move
 		for i := 0; i < limit; i++ {
-			pk := q[i]
+			pk := q.At(i)
 			r.markOld(pk, now)
-			if pk.nominated || pk.eligibleAt > now {
+			if s.flags[pk]&pkNominated != 0 || s.eligibleAt[pk] > now {
 				continue
 			}
-			if r.draining && !pk.old {
+			if r.draining && s.flags[pk]&pkOld == 0 {
 				continue
 			}
-			if bestPk != nil && !olderThan(pk, bestPk) {
+			if best >= 0 && !r.olderThan(pk, best) {
 				continue
 			}
 			r.moves = r.readyMoves(pk, gaTick, r.moves[:0])
 			if len(r.moves) == 0 {
 				continue
 			}
-			bestPk, bestMove = pk, r.moves[0]
+			best, bestMove = pk, r.moves[0]
 		}
-		if bestPk != nil {
-			return bestPk, bestMove, true
+		if best >= 0 {
+			return best, bestMove, true
 		}
 	}
-	return nil, move{}, false
+	return -1, move{}, false
 }
 
-func olderThan(a, b *pkState) bool {
-	if a.headerArrive != b.headerArrive {
-		return a.headerArrive < b.headerArrive
+// olderThan orders two buffered packets by arrival, then packet ID.
+func (r *Router) olderThan(a, b int32) bool {
+	s := &r.slab
+	if s.headerArrive[a] != s.headerArrive[b] {
+		return s.headerArrive[a] < s.headerArrive[b]
 	}
-	return a.pkt.ID < b.pkt.ID
+	return s.pkt[a].ID < s.pkt[b].ID
 }
 
 // resolveSPAA is the GA stage: for each output port with due nominations,
@@ -364,11 +419,11 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 				(n.local || (op.credits != nil && op.credits.Available(n.targetCh)))
 			if !valid {
 				r.reset(n.pk)
-				n.pk = nil
+				n.pk = -1
 				continue
 			}
 			r.gaRows = append(r.gaRows, n.row)
-			r.gaNet = append(r.gaNet, n.pk.in.IsNetwork())
+			r.gaNet = append(r.gaNet, r.slab.in[n.pk].IsNetwork())
 			r.gaIdx = append(r.gaIdx, i)
 		}
 		if len(r.gaRows) == 0 {
@@ -383,19 +438,19 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 				r.reset(n.pk)
 				r.Counters.WastedSpecReads++
 			}
-			n.pk = nil
+			n.pk = -1
 		}
 	}
 	// Any nominations left unprocessed would be a bookkeeping bug.
 	for i := range due {
-		if due[i].pk != nil {
+		if due[i].pk >= 0 {
 			panic("router: unresolved nomination")
 		}
 	}
 }
 
-func (r *Router) reset(pk *pkState) {
-	pk.nominated = false
+func (r *Router) reset(pk int32) {
+	r.slab.flags[pk] &^= pkNominated
 	r.Counters.Collisions++
 }
 
@@ -428,38 +483,38 @@ func (r *Router) buildWave(now sim.Ticks) bool {
 	r.matrix.Reset()
 	gaTick := now + r.waveGaOffset
 	any := false
+	s := &r.slab
 	for in := ports.In(0); in < ports.NumIn; in++ {
-		ip := r.inputs[in]
 		for ch := vc.Channel(0); ch < vc.NumChannels; ch++ {
-			q := ip.queues[ch]
-			limit := len(q)
+			q := &r.queues[in][ch]
+			limit := q.Len()
 			if limit > r.cfg.Window {
 				limit = r.cfg.Window
 			}
 			for i := 0; i < limit; i++ {
-				pk := q[i]
+				pk := q.At(i)
 				r.markOld(pk, now)
-				if pk.nominated || pk.eligibleAt > now {
+				if s.flags[pk]&pkNominated != 0 || s.eligibleAt[pk] > now {
 					continue
 				}
-				if r.draining && !pk.old {
+				if r.draining && s.flags[pk]&pkOld == 0 {
 					continue
 				}
 				r.moves = r.readyMoves(pk, gaTick, r.moves[:0])
 				if len(r.moves) == 0 {
 					continue
 				}
-				row := r.assignRow(in, r.moves, pk.pkt.ID)
+				row := r.assignRow(in, r.moves, s.pkt[pk].ID)
 				for _, mv := range r.moves {
 					if mv.row != row {
 						continue
 					}
 					cell := r.matrix.At(row, int(mv.out))
-					age := int64(pk.headerArrive)
-					if cell.Valid && !(age < cell.Age || (age == cell.Age && pk.pkt.ID < cell.Key)) {
+					age := int64(s.headerArrive[pk])
+					if cell.Valid && !(age < cell.Age || (age == cell.Age && s.pkt[pk].ID < cell.Key)) {
 						continue
 					}
-					r.matrix.Set(row, int(mv.out), age, pk.pkt.ID, 0)
+					r.matrix.Set(row, int(mv.out), age, s.pkt[pk].ID, 0)
 					r.waveCells[row][mv.out] = waveCell{pk: pk, targetCh: mv.targetCh, local: mv.local}
 					any = true
 				}
@@ -473,7 +528,7 @@ func (r *Router) buildWave(now sim.Ticks) bool {
 	for row := 0; row < ports.NumRows; row++ {
 		for col := 0; col < int(ports.NumOut); col++ {
 			if r.matrix.At(row, col).Valid {
-				r.waveCells[row][col].pk.nominated = true
+				s.flags[r.waveCells[row][col].pk] |= pkNominated
 				r.Counters.Nominations++
 			}
 		}
@@ -518,7 +573,7 @@ func (r *Router) resolveWave(now sim.Ticks) {
 		op := r.outputs[ports.Out(g.Col)]
 		valid := op.freeForGrant(now, r.postArbTicks) &&
 			(cell.local || (op.credits != nil && op.credits.Available(cell.targetCh)))
-		if !valid || cell.pk == nil || !cell.pk.nominated {
+		if !valid || cell.pk < 0 || r.slab.flags[cell.pk]&pkNominated == 0 {
 			continue
 		}
 		r.dispatch(cell.pk, ports.Out(g.Col), cell.targetCh, cell.local, now)
@@ -529,10 +584,10 @@ func (r *Router) resolveWave(now sim.Ticks) {
 			if !r.matrix.At(row, col).Valid {
 				continue
 			}
-			if pk := r.waveCells[row][col].pk; pk != nil && pk.nominated {
+			if pk := r.waveCells[row][col].pk; pk >= 0 && r.slab.flags[pk]&pkNominated != 0 {
 				r.reset(pk)
 			}
-			r.waveCells[row][col] = waveCell{}
+			r.waveCells[row][col] = waveCell{pk: -1}
 		}
 	}
 	r.waveActive = false
@@ -540,9 +595,10 @@ func (r *Router) resolveWave(now sim.Ticks) {
 
 // ---- common ----
 
-func (r *Router) markOld(pk *pkState, now sim.Ticks) {
-	if !pk.old && now-pk.headerArrive >= r.ageTicks {
-		pk.old = true
+func (r *Router) markOld(pk int32, now sim.Ticks) {
+	s := &r.slab
+	if s.flags[pk]&pkOld == 0 && now-s.headerArrive[pk] >= r.ageTicks {
+		s.flags[pk] |= pkOld
 		r.oldCount++
 		if !r.draining && r.oldCount > r.cfg.AntiStarvationThreshold {
 			r.draining = true
@@ -551,50 +607,75 @@ func (r *Router) markOld(pk *pkState, now sim.Ticks) {
 	}
 }
 
+// touchVC moves ch to the most-recently-selected end of in's LRU order.
+func (r *Router) touchVC(in ports.In, ch vc.Channel) {
+	lru := &r.lru[in]
+	idx := -1
+	for i, c := range lru {
+		if c == ch {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	copy(lru[idx:], lru[idx+1:])
+	lru[len(lru)-1] = ch
+}
+
 // dispatch commits a grant: the packet leaves its input buffer (returning
 // the upstream credit), the output port goes busy for the packet's length,
 // and the packet is handed to the link or the local sink. A grant at tick
 // g puts the header on the pin at g + PostArb cycles.
-func (r *Router) dispatch(pk *pkState, out ports.Out, targetCh vc.Channel, local bool, now sim.Ticks) {
+func (r *Router) dispatch(pk int32, out ports.Out, targetCh vc.Channel, local bool, now sim.Ticks) {
 	// The granted packet leaves the input buffer; losers of this GA round
 	// were already reset. A successful selection is what advances the
 	// input port's least-recently-selected virtual channel order.
-	pk.nominated = false
-	r.inputs[pk.in].touchVC(pk.ch)
-	r.inputs[pk.in].remove(pk)
-	if pk.old {
-		pk.old = false
+	s := &r.slab
+	s.flags[pk] &^= pkNominated
+	in, ch := s.in[pk], s.ch[pk]
+	r.touchVC(in, ch)
+	if !r.queues[in][ch].Remove(pk) {
+		panic("router: removing packet not in queue")
+	}
+	if s.flags[pk]&pkOld != 0 {
+		s.flags[pk] &^= pkOld
 		r.oldCount--
 		if r.oldCount == 0 {
 			r.draining = false
 		}
 	}
-	if pk.upstream != nil {
-		pk.upstream.Release(pk.upstreamCh)
+	if s.upstream[pk] != nil {
+		s.upstream[pk].Release(s.upstreamCh[pk])
 	}
+
+	p := s.pkt[pk]
+	tailArrive := s.tailArrive[pk]
+	r.slab.release(pk)
 
 	op := r.outputs[out]
 	headerDepart := now + r.postArbTicks
-	flits := sim.Ticks(pk.pkt.Flits)
+	flits := sim.Ticks(p.Flits)
 	if local {
 		op.busyUntil = headerDepart + flits*r.cfg.RouterPeriod
 		deliveredAt := headerDepart + (flits-1)*r.cfg.RouterPeriod
-		if pk.tailArrive > deliveredAt {
-			deliveredAt = pk.tailArrive
+		if tailArrive > deliveredAt {
+			deliveredAt = tailArrive
 		}
 		r.Counters.DeliveredLocal++
 		if op.deliver == nil {
 			panic(fmt.Sprintf("router %d: local port %v not connected", r.node, out))
 		}
-		op.deliver(pk.pkt, deliveredAt)
+		op.deliver(p, deliveredAt)
 	} else {
 		op.credits.Reserve(targetCh)
 		op.busyUntil = headerDepart + flits*r.cfg.LinkPeriod
-		pk.pkt.Hops++
+		p.Hops++
 		if op.send == nil {
 			panic(fmt.Sprintf("router %d: network port %v not connected", r.node, out))
 		}
-		op.send(pk.pkt, targetCh, headerDepart, op.credits)
+		op.send(p, targetCh, headerDepart, op.credits)
 	}
 	r.Counters.Grants++
 }

@@ -1,5 +1,14 @@
 package router
 
+// state.go holds the router's per-packet bookkeeping in struct-of-arrays
+// form: one slab of parallel arrays per router, indexed by int32 handles
+// drawn from a free list, with per-(input port, virtual channel) queues
+// as fixed-capacity index rings over the slab. The arbiter inner loops
+// (SPAA nomination scans, PIM1/WFA wave builds) walk dense arrays of
+// ticks and flags instead of chasing per-packet heap objects, and the
+// steady-state router allocates nothing: slab slots and ring storage are
+// recycled as packets dispatch.
+
 import (
 	"alpha21364/internal/packet"
 	"alpha21364/internal/ports"
@@ -7,89 +16,66 @@ import (
 	"alpha21364/internal/vc"
 )
 
-// pkState is a router's per-hop bookkeeping for one buffered packet.
-type pkState struct {
-	pkt *packet.Packet
-	ch  vc.Channel // channel occupied at this router
-	in  ports.In
+// pkState flag bits.
+const (
+	pkNominated uint8 = 1 << iota // locked by an in-flight nomination or wave
+	pkOld                         // anti-starvation color
+)
 
-	headerArrive sim.Ticks // header at this router's pin (or injection time)
-	tailArrive   sim.Ticks // last flit fully arrived
-	eligibleAt   sim.Ticks // earliest LA participation (after DW stages)
-
-	nominated bool // locked by an in-flight nomination or wave
-	old       bool // anti-starvation color
-
+// pkSlab is the per-router packet-state arena: parallel arrays indexed
+// by int32 handles. Growth appends to every array (indices, not
+// pointers, are held elsewhere, so reallocation is safe); the free list
+// recycles slots, reaching a steady state with zero allocation.
+type pkSlab struct {
+	pkt          []*packet.Packet
+	ch           []vc.Channel // channel occupied at this router
+	in           []ports.In
+	headerArrive []sim.Ticks // header at this router's pin (or injection time)
+	tailArrive   []sim.Ticks // last flit fully arrived
+	eligibleAt   []sim.Ticks // earliest LA participation (after DW stages)
+	flags        []uint8
 	// Credit home: where to return the buffer credit this packet occupies
 	// when it leaves this router. Nil for test-injected packets.
-	upstream   *vc.Credits
-	upstreamCh vc.Channel
+	upstream   []*vc.Credits
+	upstreamCh []vc.Channel
+
+	free []int32
 }
 
-// inputPort is one of the eight buffered input ports.
-type inputPort struct {
-	id     ports.In
-	queues [vc.NumChannels][]*pkState
-	// lru is the least-recently-selected ordering over virtual channels:
-	// the front is the channel selected longest ago. The 21364's input
-	// arbiter "selects the oldest packet ... from the least-recently
-	// selected virtual channel" (§3).
-	lru [vc.NumChannels]vc.Channel
-	// feeder holds the injection credits for local ports (the processor's
-	// view of this buffer's free space); nil for network inputs, whose
-	// credits live at the upstream router's output port.
-	feeder *vc.Credits
+// alloc returns a fresh slot handle; the caller fills every field.
+func (s *pkSlab) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	idx := int32(len(s.pkt))
+	s.pkt = append(s.pkt, nil)
+	s.ch = append(s.ch, 0)
+	s.in = append(s.in, 0)
+	s.headerArrive = append(s.headerArrive, 0)
+	s.tailArrive = append(s.tailArrive, 0)
+	s.eligibleAt = append(s.eligibleAt, 0)
+	s.flags = append(s.flags, 0)
+	s.upstream = append(s.upstream, nil)
+	s.upstreamCh = append(s.upstreamCh, 0)
+	return idx
 }
 
-func newInputPort(id ports.In, cfg Config) *inputPort {
-	p := &inputPort{id: id}
+// release recycles a slot, dropping its pointer fields for the GC.
+func (s *pkSlab) release(idx int32) {
+	s.pkt[idx] = nil
+	s.upstream[idx] = nil
+	s.flags[idx] = 0
+	s.free = append(s.free, idx)
+}
+
+// initQueues sizes one input port's per-channel rings to the configured
+// buffer capacities.
+func initQueues(queues *[vc.NumChannels]vc.Ring, cfg vc.Config) {
 	for ch := vc.Channel(0); ch < vc.NumChannels; ch++ {
-		p.lru[ch] = ch
+		queues[ch].Init(cfg.Capacity(ch))
 	}
-	if !id.IsNetwork() {
-		p.feeder = vc.NewCredits(cfg.Buffers)
-	}
-	return p
-}
-
-// touchVC moves ch to the most-recently-selected end of the LRU order.
-func (p *inputPort) touchVC(ch vc.Channel) {
-	idx := -1
-	for i, c := range p.lru {
-		if c == ch {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return
-	}
-	copy(p.lru[idx:], p.lru[idx+1:])
-	p.lru[len(p.lru)-1] = ch
-}
-
-// remove deletes pk from its queue; it panics if absent (that would mean a
-// double dispatch).
-func (p *inputPort) remove(pk *pkState) {
-	q := p.queues[pk.ch]
-	for i := range q {
-		if q[i] == pk {
-			copy(q[i:], q[i+1:])
-			q[len(q)-1] = nil
-			p.queues[pk.ch] = q[:len(q)-1]
-			return
-		}
-	}
-	panic("router: removing packet not in queue")
-}
-
-// buffered returns the number of packets held at the port.
-func (p *inputPort) buffered() int {
-	n := 0
-	for ch := range p.queues {
-		n += len(p.queues[ch])
-	}
-	return n
 }
 
 // SendFunc forwards a dispatched packet across a link: the packet leaves

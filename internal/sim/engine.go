@@ -1,34 +1,5 @@
 package sim
 
-import "container/heap"
-
-// event is a callback scheduled to run at a particular tick.
-type event struct {
-	at  Ticks
-	seq uint64 // schedule order; breaks ties deterministically
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // Clocked is a component driven on every edge of a clock.
 type Clocked interface {
 	Tick(now Ticks)
@@ -49,39 +20,100 @@ func (d *clockDomain) nextEdgeAt(now Ticks) Ticks {
 	return d.phase + k*d.period
 }
 
+// HandlerID names a callback registered with RegisterHandler.
+type HandlerID uint32
+
+// EventArgs is the small fixed-size payload carried by a scheduled
+// event: two integer words and one pointer-shaped reference. Posting an
+// event copies the struct into a pooled node, so steady-state scheduling
+// performs no heap allocation (storing a pointer, func, or other
+// pointer-shaped value in P does not allocate either).
+type EventArgs struct {
+	A, B int64
+	P    any
+}
+
+// Handler is a static callback registered once at setup and invoked for
+// every event posted to it. Handlers needing the current time read it
+// from the engine they captured at registration.
+type Handler func(args EventArgs)
+
+// funcHandler is the built-in handler behind the Schedule adapter: its
+// payload is the closure to call.
+const funcHandler HandlerID = 0
+
 // Engine is a deterministic single-threaded simulation engine combining a
 // cycle-driven clock model (for the router pipelines) with an event queue
-// (for link arrivals, memory responses, and other timed callbacks).
+// (for link arrivals, memory responses, and other timed callbacks). The
+// queue is a hierarchical, bitmap-indexed tick wheel over pooled event
+// nodes (see wheel.go), so steady-state scheduling allocates nothing.
 //
 // Dispatch order within one tick: first all events due at the tick (in
-// schedule order, including events scheduled for the same tick by earlier
-// events), then all clock domains whose edge falls on the tick, each firing
-// its components in registration order. An event scheduled for the current
-// tick by a clocked component runs on the following tick; this keeps the
-// cycle semantics strictly causal.
+// (time, schedule) order, including events scheduled for the same tick by
+// earlier events), then all clock domains whose edge falls on the tick,
+// each firing its components in registration order. An event scheduled
+// for the current tick by a clocked component runs on the following tick;
+// this keeps the cycle semantics strictly causal.
 type Engine struct {
-	now     Ticks
-	seq     uint64
-	events  eventQueue
-	domains []*clockDomain
-	stopped bool
+	now      Ticks
+	seq      uint64
+	q        timerWheel
+	handlers []Handler
+	domains  []*clockDomain
+	stopped  bool
 }
 
 // NewEngine returns an engine with time at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	// HandlerID 0 is the Schedule(fn) adapter.
+	e.handlers = append(e.handlers, func(args EventArgs) {
+		args.P.(func())()
+	})
+	return e
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Ticks { return e.now }
 
-// Schedule runs fn at the given absolute tick. Scheduling at or before the
-// current tick runs the callback at the next dispatch opportunity; time
-// never rewinds.
-func (e *Engine) Schedule(at Ticks, fn func()) {
+// RegisterHandler adds a static callback and returns its id. Register
+// handlers at setup time; Post then schedules allocation-free events
+// against them. Handlers are never unregistered.
+func (e *Engine) RegisterHandler(fn Handler) HandlerID {
+	if fn == nil {
+		panic("sim: RegisterHandler with nil handler")
+	}
+	e.handlers = append(e.handlers, fn)
+	return HandlerID(len(e.handlers) - 1)
+}
+
+// Post schedules handler h to run at the given absolute tick with the
+// given payload. Posting at or before the current tick runs the handler
+// at the next dispatch opportunity; time never rewinds.
+func (e *Engine) Post(at Ticks, h HandlerID, args EventArgs) {
+	if int(h) >= len(e.handlers) {
+		panic("sim: Post with unregistered handler")
+	}
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	n := e.q.alloc()
+	n.at, n.seq, n.h, n.args = at, e.seq, h, args
+	e.q.insert(n, false)
+}
+
+// PostDelay posts handler h after delay ticks.
+func (e *Engine) PostDelay(delay Ticks, h HandlerID, args EventArgs) {
+	e.Post(e.now+delay, h, args)
+}
+
+// Schedule runs fn at the given absolute tick. It is a thin adapter over
+// Post: the closure itself is the only allocation, so prefer
+// RegisterHandler/Post on hot paths. Scheduling at or before the current
+// tick runs the callback at the next dispatch opportunity.
+func (e *Engine) Schedule(at Ticks, fn func()) {
+	e.Post(at, funcHandler, EventArgs{P: fn})
 }
 
 // ScheduleDelay runs fn after delay ticks.
@@ -109,12 +141,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) nextDispatch() (Ticks, bool) {
 	var best Ticks
 	found := false
-	if len(e.events) > 0 {
-		best = e.events[0].at
-		if best < e.now {
-			best = e.now
+	if t, ok := e.q.nextAt(); ok {
+		if t < e.now {
+			t = e.now
 		}
-		found = true
+		best, found = t, true
 	}
 	for _, d := range e.domains {
 		if len(d.components) == 0 {
@@ -137,13 +168,26 @@ func (e *Engine) Run(until Ticks) {
 		if !ok || next > until {
 			if e.now < until {
 				e.now = until
+				e.q.advanceTo(until)
 			}
 			return
 		}
-		e.now = next
-		for len(e.events) > 0 && e.events[0].at <= e.now {
-			ev := heap.Pop(&e.events).(*event)
-			ev.fn()
+		if next > e.now {
+			e.now = next
+		}
+		// The wheel's origin can lag e.now by one tick after the loop's
+		// e.now++; advancing by one tick is always safe (no event can lie
+		// strictly between consecutive integers).
+		e.q.advanceTo(e.now)
+		for {
+			n := e.q.popDue(e.now)
+			if n == nil {
+				break
+			}
+			fn := e.handlers[n.h]
+			args := n.args
+			e.q.release(n)
+			fn(args)
 			if e.stopped {
 				return
 			}
@@ -158,6 +202,7 @@ func (e *Engine) Run(until Ticks) {
 		if e.now == until {
 			return
 		}
+		e.q.sweepStale(e.now)
 		e.now++
 	}
 }

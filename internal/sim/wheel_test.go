@@ -1,0 +1,324 @@
+package sim
+
+// wheel_test.go covers the tick-wheel scheduler's edge cases — same-tick
+// event/clock ordering, far-future scheduling past one (and several)
+// wheel rotations, scheduling at or before the current tick — and
+// mirrors the whole structure against the old binary-heap queue with a
+// randomized differential test.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// ---- reference implementation: the pre-tick-wheel binary heap ----
+
+type refEvent struct {
+	at  Ticks
+	seq uint64
+	id  int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// refEngine replays the old engine's event semantics: dispatch in
+// (at, seq) order, past times clamped to now at schedule time.
+type refEngine struct {
+	now    Ticks
+	seq    uint64
+	events refQueue
+}
+
+func (r *refEngine) schedule(at Ticks, id int) {
+	if at < r.now {
+		at = r.now
+	}
+	r.seq++
+	heap.Push(&r.events, &refEvent{at: at, seq: r.seq, id: id})
+}
+
+// run advances to `until`, appending dispatched ids to order; onDispatch
+// may schedule more events.
+func (r *refEngine) run(until Ticks, onDispatch func(id int)) []int {
+	var order []int
+	for len(r.events) > 0 {
+		next := r.events[0].at
+		if next < r.now {
+			next = r.now
+		}
+		if next > until {
+			break
+		}
+		r.now = next
+		for len(r.events) > 0 && r.events[0].at <= r.now {
+			ev := heap.Pop(&r.events).(*refEvent)
+			order = append(order, ev.id)
+			if onDispatch != nil {
+				onDispatch(ev.id)
+			}
+		}
+		if r.now == until {
+			return order
+		}
+		r.now++
+	}
+	if r.now < until {
+		r.now = until
+	}
+	return order
+}
+
+// ---- tick-wheel edge cases ----
+
+type clockedFunc func(Ticks)
+
+func (f clockedFunc) Tick(now Ticks) { f(now) }
+
+// TestWheelSameTickEventThenClock pins the intra-tick order: events due
+// at a tick run before that tick's clock edges, and an event scheduled
+// at the current tick by a clocked component runs on the following tick.
+func TestWheelSameTickEventThenClock(t *testing.T) {
+	e := NewEngine()
+	var seq []string
+	e.AddClock(10, 0, clockedFunc(func(now Ticks) {
+		seq = append(seq, "clock")
+		if now == 10 {
+			e.Schedule(now, func() { seq = append(seq, "clock-scheduled") })
+		}
+	}))
+	e.Schedule(10, func() { seq = append(seq, "event") })
+	e.Run(30)
+	// Tick 0: clock. Tick 10: event then clock (which schedules at 10).
+	// Tick 11: the clock-scheduled event (following tick, before any
+	// edge). Ticks 20, 30: clock.
+	want := []string{"clock", "event", "clock", "clock-scheduled", "clock", "clock"}
+	if len(seq) != len(want) {
+		t.Fatalf("seq = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestWheelFarFuture schedules events past one wheel rotation at every
+// level, past the whole wheel horizon (the overflow list), and checks
+// dispatch times.
+func TestWheelFarFuture(t *testing.T) {
+	e := NewEngine()
+	delays := []Ticks{
+		1, 255, 256, 257, // level 0/1 boundary
+		wheelSlots*3 + 7,              // several level-0 rotations
+		1<<16 - 1, 1 << 16, 1<<16 + 1, // level 1/2 boundary
+		1<<24 - 1, 1 << 24, 1<<24 + 13, // level 2/3 boundary
+		wheelSpan - 1, wheelSpan, wheelSpan + 12345, // horizon/overflow
+	}
+	got := make([]Ticks, len(delays))
+	for i, d := range delays {
+		at, idx := d, i
+		e.Schedule(at, func() { got[idx] = e.Now() })
+	}
+	e.Run(wheelSpan + 20000)
+	for i, d := range delays {
+		if got[i] != d {
+			t.Errorf("event %d (at %d) ran at %d", i, d, got[i])
+		}
+	}
+}
+
+// TestWheelScheduleAtOrBeforeNow checks the clamping rule: scheduling at
+// or before the current tick dispatches at the next opportunity, in
+// schedule order, never rewinding time.
+func TestWheelScheduleAtOrBeforeNow(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(100, func() {
+		e.Schedule(50, func() { order = append(order, 1) })  // past: clamped to 100
+		e.Schedule(100, func() { order = append(order, 2) }) // now: same tick
+		e.Schedule(0, func() { order = append(order, 3) })   // past: clamped
+	})
+	e.Run(200)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("now = %d, want 200", e.Now())
+	}
+}
+
+// TestPostRegisteredHandler exercises the static-callback API directly:
+// payloads arrive intact, in (at, seq) order, across wheel levels.
+func TestPostRegisteredHandler(t *testing.T) {
+	e := NewEngine()
+	type rec struct {
+		a, b int64
+		at   Ticks
+	}
+	var got []rec
+	h := e.RegisterHandler(func(args EventArgs) {
+		got = append(got, rec{args.A, args.B, e.Now()})
+	})
+	e.Post(500, h, EventArgs{A: 2, B: 20})
+	e.Post(5, h, EventArgs{A: 1, B: 10})
+	e.PostDelay(1<<18, h, EventArgs{A: 3, B: 30})
+	e.Run(1 << 20)
+	want := []rec{{1, 10, 5}, {2, 20, 500}, {3, 30, 1 << 18}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// horizonFor draws event id's chained-schedule delay deterministically,
+// so the wheel engine and the reference heap make identical decisions
+// without sharing state.
+func horizonFor(trial, id int, now Ticks) Ticks {
+	r := rand.New(rand.NewSource(int64(id)*2654435761 + int64(trial)))
+	switch r.Intn(6) {
+	case 0:
+		return now // same tick
+	case 1:
+		return now + Ticks(r.Intn(16)) // near
+	case 2:
+		return now + Ticks(r.Intn(1024)) // wraps level 0
+	case 3:
+		return now + Ticks(r.Intn(1<<17)) // level 2
+	case 4:
+		return now - Ticks(r.Intn(64)) // past: clamps
+	default:
+		return now + wheelSpan + Ticks(r.Intn(4096)) // overflow
+	}
+}
+
+// TestWheelDifferentialRandom mirrors the wheel against the reference
+// heap over randomized workloads: bursts of schedules at mixed horizons
+// (same tick, near, wrapped, far, overflow) and chained re-scheduling
+// from inside dispatches. Dispatch order must match id for id.
+func TestWheelDifferentialRandom(t *testing.T) {
+	const chainLimit = 4000
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+
+		// Seed burst, shared verbatim by both engines.
+		type seeded struct {
+			at Ticks
+			id int
+		}
+		var seeds []seeded
+		for i := 0; i < 60+rng.Intn(60); i++ {
+			seeds = append(seeds, seeded{at: horizonFor(trial, -i-1, 0), id: i + 1})
+		}
+
+		// Wheel engine: every dispatch of an id divisible by 3 chains one
+		// more event at horizonFor(nextID).
+		e := NewEngine()
+		idSrc := len(seeds)
+		var got []int
+		var chain func(id int) func()
+		chain = func(id int) func() {
+			return func() {
+				got = append(got, id)
+				if id%3 == 0 && id < chainLimit {
+					idSrc++
+					nid := idSrc
+					e.Schedule(horizonFor(trial, nid, e.Now()), chain(nid))
+				}
+			}
+		}
+		for _, s := range seeds {
+			e.Schedule(s.at, chain(s.id))
+		}
+		e.Run(1 << 40)
+
+		// Reference heap with the identical chaining rule.
+		ref := &refEngine{}
+		refIDSrc := len(seeds)
+		for _, s := range seeds {
+			ref.schedule(s.at, s.id)
+		}
+		refOrder := ref.run(1<<40, func(id int) {
+			if id%3 == 0 && id < chainLimit {
+				refIDSrc++
+				ref.schedule(horizonFor(trial, refIDSrc, ref.now), refIDSrc)
+			}
+		})
+
+		if len(got) != len(refOrder) {
+			t.Fatalf("trial %d: wheel dispatched %d events, heap %d", trial, len(got), len(refOrder))
+		}
+		for i := range got {
+			if got[i] != refOrder[i] {
+				t.Fatalf("trial %d: dispatch %d: wheel ran id %d, heap id %d", trial, i, got[i], refOrder[i])
+			}
+		}
+	}
+}
+
+// TestWheelSegmentedRuns splits one workload across many short Run calls
+// with arbitrary boundaries (including boundaries landing exactly on
+// event ticks) and checks the dispatch order still matches the heap.
+func TestWheelSegmentedRuns(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 101))
+		type seeded struct {
+			at Ticks
+			id int
+		}
+		var seeds []seeded
+		for i := 0; i < 80; i++ {
+			seeds = append(seeds, seeded{at: Ticks(rng.Intn(3000)), id: i + 1})
+		}
+
+		e := NewEngine()
+		var got []int
+		for _, s := range seeds {
+			id := s.id
+			e.Schedule(s.at, func() { got = append(got, id) })
+		}
+		ref := &refEngine{}
+		for _, s := range seeds {
+			ref.schedule(s.at, s.id)
+		}
+		refOrder := ref.run(1<<20, nil)
+
+		until := Ticks(0)
+		for until < 4000 {
+			until += Ticks(rng.Intn(500))
+			e.Run(until)
+		}
+		e.Run(1 << 20)
+
+		if len(got) != len(refOrder) {
+			t.Fatalf("trial %d: wheel dispatched %d events, heap %d", trial, len(got), len(refOrder))
+		}
+		for i := range got {
+			if got[i] != refOrder[i] {
+				t.Fatalf("trial %d: dispatch %d: wheel ran id %d, heap id %d", trial, i, got[i], refOrder[i])
+			}
+		}
+	}
+}

@@ -139,21 +139,33 @@ func abs(a int) int {
 // the (at most two) output-port choices the 21364's adaptive routing
 // permits a packet.
 func (t Torus) ProductiveDirs(cur, dst Node) []Dir {
-	dirs := make([]Dir, 0, 2)
+	fixed, n := t.ProductiveDirsFixed(cur, dst)
+	return append(make([]Dir, 0, 2), fixed[:n]...)
+}
+
+// ProductiveDirsFixed is ProductiveDirs without the slice allocation: it
+// returns the (at most two) productive directions in a fixed array plus
+// the count. The router's per-scan routing loop uses it, so it must not
+// allocate.
+func (t Torus) ProductiveDirsFixed(cur, dst Node) (dirs [2]Dir, n int) {
 	dx, dy := t.Offset(cur, dst)
 	switch {
 	case dx > 0:
-		dirs = append(dirs, East)
+		dirs[n] = East
+		n++
 	case dx < 0:
-		dirs = append(dirs, West)
+		dirs[n] = West
+		n++
 	}
 	switch {
 	case dy > 0:
-		dirs = append(dirs, South)
+		dirs[n] = South
+		n++
 	case dy < 0:
-		dirs = append(dirs, North)
+		dirs[n] = North
+		n++
 	}
-	return dirs
+	return dirs, n
 }
 
 // DORDir returns the next direction under strict X-then-Y dimension-order

@@ -45,9 +45,13 @@ type Generator struct {
 
 	outstanding []int
 	demand      []int64
-	// pending holds packets awaiting buffer space, per node and local
-	// input port (processor-side injection queues).
-	pending map[injKey][]*packet.Packet
+	// arena pools packets: drawn at creation, released once the delivery
+	// is fully processed, so steady-state injection allocates nothing.
+	arena *packet.Arena
+	// pending holds packets awaiting buffer space: one FIFO per (node,
+	// local input port) pair, indexed node*numInjPorts + port offset
+	// (processor-side injection queues).
+	pending []pendQueue
 
 	nextPkt   uint64
 	completed int64
@@ -59,9 +63,54 @@ type Generator struct {
 	eng *sim.Engine
 }
 
-type injKey struct {
-	node topology.Node
-	in   ports.In
+// injPorts are the local input ports packets inject on, in retry order.
+var injPorts = [...]ports.In{ports.InCache, ports.InMC0, ports.InMC1, ports.InIO}
+
+// numInjPorts is the injection-port count per node.
+const numInjPorts = len(injPorts)
+
+// pendSlot maps a (node, port) pair to its pending-queue index.
+func pendSlot(node topology.Node, in ports.In) int {
+	return int(node)*numInjPorts + int(in-ports.InCache)
+}
+
+// pendQueue is a reusable FIFO over a slice: pops advance a head index,
+// and the buffer is reclaimed when drained (or compacted when the dead
+// prefix dominates), so a steady-state queue allocates nothing.
+type pendQueue struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (q *pendQueue) len() int { return len(q.buf) - q.head }
+
+func (q *pendQueue) front() *packet.Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *pendQueue) push(p *packet.Packet) {
+	if q.head > 32 && q.head*2 >= len(q.buf) {
+		// Reclaim the popped prefix before growing further.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *pendQueue) pop() {
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
 }
 
 // New creates a generator, installs its delivery handler on the network,
@@ -88,7 +137,8 @@ func New(cfg Config, net *network.Network, eng *sim.Engine, collector *stats.Col
 		process:     cfg.Process,
 		outstanding: make([]int, net.Nodes()),
 		demand:      make([]int64, net.Nodes()),
-		pending:     make(map[injKey][]*packet.Packet),
+		arena:       packet.NewArena(),
+		pending:     make([]pendQueue, net.Nodes()*numInjPorts),
 		eng:         eng,
 	}
 	routerPeriod := net.Router(0).Config().RouterPeriod
@@ -123,8 +173,8 @@ func (g *Generator) InFlightTxns() int { return g.model.InFlight() }
 // space.
 func (g *Generator) PendingInjections() int {
 	n := 0
-	for _, q := range g.pending {
-		n += len(q)
+	for i := range g.pending {
+		n += g.pending[i].len()
 	}
 	return n
 }
@@ -158,7 +208,7 @@ func (g *Generator) Tick(now sim.Ticks) {
 // (the injection point is completed by enqueue).
 func (g *Generator) newPacket(cl packet.Class, src, dst topology.Node, txnID uint64) *packet.Packet {
 	g.nextPkt++
-	p := packet.New(g.nextPkt, cl, src, dst, g.eng.Now())
+	p := g.arena.New(g.nextPkt, cl, src, dst, g.eng.Now())
 	p.TxnID = txnID
 	g.collector.Injected(p)
 	if g.cfg.Record != nil {
@@ -183,9 +233,9 @@ func (g *Generator) enqueue(node topology.Node, in ports.In, p *packet.Packet) {
 		ev := &g.cfg.Record.Events[len(g.cfg.Record.Events)-1]
 		ev.Node, ev.In = node, in
 	}
-	k := injKey{node, in}
-	g.pending[k] = append(g.pending[k], p)
-	g.tryInject(k, g.eng.Now())
+	slot := pendSlot(node, in)
+	g.pending[slot].push(p)
+	g.tryInject(slot, node, in, g.eng.Now())
 }
 
 // complete closes one of requester's transactions.
@@ -197,30 +247,30 @@ func (g *Generator) complete(requester topology.Node) {
 // drainPending retries one injection per (node, port) per cycle.
 func (g *Generator) drainPending(now sim.Ticks) {
 	for node := 0; node < g.net.Nodes(); node++ {
-		for _, in := range []ports.In{ports.InCache, ports.InMC0, ports.InMC1, ports.InIO} {
-			g.tryInject(injKey{topology.Node(node), in}, now)
+		for pi, in := range injPorts {
+			g.tryInject(node*numInjPorts+pi, topology.Node(node), in, now)
 		}
 	}
 }
 
-func (g *Generator) tryInject(k injKey, now sim.Ticks) {
-	q := g.pending[k]
-	if len(q) == 0 {
+func (g *Generator) tryInject(slot int, node topology.Node, in ports.In, now sim.Ticks) {
+	q := &g.pending[slot]
+	p := q.front()
+	if p == nil {
 		return
 	}
-	if !g.net.Inject(q[0], k.node, k.in, now) {
+	if !g.net.Inject(p, node, in, now) {
 		return
 	}
-	copy(q, q[1:])
-	q[len(q)-1] = nil
-	if len(q) == 1 {
-		delete(g.pending, k)
-	} else {
-		g.pending[k] = q[:len(q)-1]
-	}
+	q.pop()
 }
 
-// onDeliver relays deliveries to the model.
+// onDeliver relays deliveries to the model, then returns the packet to
+// the arena: once the model has seen the delivery, nothing in the
+// simulation references the packet again.
 func (g *Generator) onDeliver(p *packet.Packet, at sim.Ticks) {
 	g.model.Deliver(p, at)
+	if g.arena.Owns(p) {
+		g.arena.Release(p)
+	}
 }

@@ -76,7 +76,13 @@ type Coherence struct {
 	env       *Env
 	l2Latency sim.Ticks
 	txns      map[uint64]*coherenceTxn
+	freeTxns  []*coherenceTxn
 	nextTxn   uint64
+	// memH and ownerH are the registered protocol-step handlers: the home
+	// memory/directory response and the owner's L2 response. Both carry
+	// only the transaction id, so no packet is captured past its delivery.
+	memH   sim.HandlerID
+	ownerH sim.HandlerID
 }
 
 // NewCoherence returns the paper's coherence model with its default
@@ -95,6 +101,19 @@ func (c *Coherence) Bind(env *Env) {
 	c.env = env
 	c.l2Latency = sim.Ticks(c.L2LatencyCycles) * env.RouterPeriod
 	c.txns = make(map[uint64]*coherenceTxn)
+	c.memH = env.Eng.RegisterHandler(c.memoryStep)
+	c.ownerH = env.Eng.RegisterHandler(c.ownerStep)
+}
+
+// newTxn draws a transaction from the free pool.
+func (c *Coherence) newTxn() *coherenceTxn {
+	if n := len(c.freeTxns); n > 0 {
+		t := c.freeTxns[n-1]
+		c.freeTxns = c.freeTxns[:n-1]
+		*t = coherenceTxn{}
+		return t
+	}
+	return &coherenceTxn{}
 }
 
 func (c *Coherence) InFlight() int { return len(c.txns) }
@@ -107,11 +126,10 @@ func (c *Coherence) Tick(sim.Ticks) {}
 // bit for bit.
 func (c *Coherence) Start(requester topology.Node, now sim.Ticks) {
 	c.nextTxn++
-	t := &coherenceTxn{
-		requester: requester,
-		home:      c.env.Pattern.Dest(requester, c.env.RNG),
-		twoHop:    c.env.RNG.Bernoulli(c.TwoHopFraction),
-	}
+	t := c.newTxn()
+	t.requester = requester
+	t.home = c.env.Pattern.Dest(requester, c.env.RNG)
+	t.twoHop = c.env.RNG.Bernoulli(c.TwoHopFraction)
 	if !t.twoHop {
 		t.owner = topology.Node(c.env.RNG.Intn(c.env.Torus.Nodes()))
 	}
@@ -121,39 +139,55 @@ func (c *Coherence) Start(requester topology.Node, now sim.Ticks) {
 }
 
 // Deliver advances the owning transaction when a packet reaches its
-// destination's local ports.
+// destination's local ports. Protocol steps are posted through the
+// registered handlers with only the transaction id as payload — the
+// delivered packet may be recycled by its arena the moment Deliver
+// returns.
 func (c *Coherence) Deliver(p *packet.Packet, at sim.Ticks) {
 	t := c.txns[p.TxnID]
 	if t == nil {
 		return // packet outside transaction bookkeeping (replays, tests)
 	}
-	env := c.env
 	switch p.Class {
 	case packet.Request:
-		if t.twoHop {
-			// Home memory responds with the cache block after 73 ns.
-			env.Eng.Schedule(at+c.MemoryLatency, func() {
-				resp := env.NewPacket(packet.BlockResponse, t.home, t.requester, p.TxnID)
-				env.Enqueue(t.home, mcPort(p.TxnID), resp)
-			})
-		} else {
-			// Directory forwards the request to the owner after the memory
-			// (directory) lookup.
-			env.Eng.Schedule(at+c.MemoryLatency, func() {
-				fwd := env.NewPacket(packet.Forward, t.home, t.owner, p.TxnID)
-				env.Enqueue(t.home, mcPort(p.TxnID), fwd)
-			})
-		}
+		// Home memory (or the directory lookup) responds after 73 ns.
+		c.env.Eng.Post(at+c.MemoryLatency, c.memH, sim.EventArgs{A: int64(p.TxnID)})
 	case packet.Forward:
 		// Owner's L2 supplies the block after 25 cycles.
-		env.Eng.Schedule(at+c.l2Latency, func() {
-			resp := env.NewPacket(packet.BlockResponse, t.owner, t.requester, p.TxnID)
-			env.Enqueue(t.owner, ports.InCache, resp)
-		})
+		c.env.Eng.Post(at+c.l2Latency, c.ownerH, sim.EventArgs{A: int64(p.TxnID)})
 	case packet.BlockResponse:
 		delete(c.txns, p.TxnID)
-		env.Complete(t.requester)
+		c.freeTxns = append(c.freeTxns, t)
+		c.env.Complete(t.requester)
 	}
+}
+
+// memoryStep is the home node's response to a request: the cache block
+// for 2-hop transactions, the forward to the owner for 3-hop ones.
+func (c *Coherence) memoryStep(args sim.EventArgs) {
+	txnID := uint64(args.A)
+	t := c.txns[txnID]
+	if t == nil {
+		return // transaction gone (generator stopped mid-protocol)
+	}
+	if t.twoHop {
+		resp := c.env.NewPacket(packet.BlockResponse, t.home, t.requester, txnID)
+		c.env.Enqueue(t.home, mcPort(txnID), resp)
+	} else {
+		fwd := c.env.NewPacket(packet.Forward, t.home, t.owner, txnID)
+		c.env.Enqueue(t.home, mcPort(txnID), fwd)
+	}
+}
+
+// ownerStep is the 3-hop owner's block response.
+func (c *Coherence) ownerStep(args sim.EventArgs) {
+	txnID := uint64(args.A)
+	t := c.txns[txnID]
+	if t == nil {
+		return
+	}
+	resp := c.env.NewPacket(packet.BlockResponse, t.owner, t.requester, txnID)
+	c.env.Enqueue(t.owner, ports.InCache, resp)
 }
 
 // mcPort interleaves response injections across the two memory controller
