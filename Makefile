@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-check fmt vet figures
+.PHONY: build test race bench bench-check cover cover-check fmt vet figures
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,25 @@ race:
 
 # race-pools points the race detector at the pooled/arena hot paths
 # specifically: the tick-wheel scheduler, the packet arena, the router
-# slab/rings, and the workload injection queues.
+# slab/rings, and the workload injection queues — plus the oracle hook
+# paths (invariant checker, replicated/checked Runner fan-outs).
 race-pools:
 	$(GO) test -race -count=1 \
 		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
 		./internal/sim ./internal/packet ./internal/vc ./internal/router ./internal/workload
+	$(GO) test -race -count=1 ./internal/check
+	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches' ./internal/experiment
+
+# cover writes the atomic-mode coverage profile for the whole module.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+
+# cover-check fails when any package's statement coverage drops below
+# its checked-in floor (COVERAGE.json). Regenerate floors after
+# intentionally raising coverage with:
+#   go run ./cmd/covercheck -profile cover.out -write
+cover-check: cover
+	$(GO) run ./cmd/covercheck -profile cover.out -floors COVERAGE.json
 
 # bench runs the benchmark suite and writes BENCH_4.json into bench-out/.
 bench:

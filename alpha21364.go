@@ -261,6 +261,18 @@ var (
 	WithScaledPipeline  = experiment.WithScaledPipeline
 	WithEpochCycles     = experiment.WithEpochCycles
 	WithStandaloneSweep = experiment.WithStandaloneSweep
+	WithReplications    = experiment.WithReplications
+	WithConfidence      = experiment.WithConfidence
+	WithCheck           = experiment.WithCheck
+)
+
+// MetricStats and ReplicationStats are the per-point multi-seed
+// statistics a replicated Spec (WithReplications) attaches to every
+// ResultPoint: mean, sample stddev, and a Student's t confidence
+// interval per metric.
+type (
+	MetricStats      = experiment.MetricStats
+	ReplicationStats = experiment.ReplicationStats
 )
 
 // ParseSpec parses and validates one Spec from strict JSON (unknown

@@ -1,0 +1,190 @@
+// Command covercheck enforces the repository's per-package coverage
+// floors: it aggregates a Go cover profile (go test -covermode=atomic
+// -coverprofile) into per-package statement coverage and compares each
+// package against the floors checked in as COVERAGE.json. A package
+// falling below its floor fails the run — the CI coverage gate — and a
+// tested package with no recorded floor fails too, so new packages
+// cannot silently dodge the gate.
+//
+// Usage:
+//
+//	go test -covermode=atomic -coverprofile=cover.out ./...
+//	go run ./cmd/covercheck -profile cover.out -floors COVERAGE.json
+//
+// Regenerate the floors (current coverage minus the margin, floored):
+//
+//	go run ./cmd/covercheck -profile cover.out -floors COVERAGE.json -write
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	floors := flag.String("floors", "COVERAGE.json", "per-package floor file (JSON: import path -> percent)")
+	write := flag.Bool("write", false, "regenerate the floor file from the profile instead of checking")
+	margin := flag.Float64("margin", 5, "with -write, points of slack below current coverage")
+	flag.Parse()
+
+	cov, err := packageCoverage(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := writeFloors(*floors, cov, *margin); err != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := checkFloors(*floors, cov); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// pkgCov accumulates one package's statement counts.
+type pkgCov struct {
+	total, covered int
+}
+
+func (p pkgCov) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// packageCoverage aggregates a cover profile into per-package statement
+// coverage. Profile lines look like:
+//
+//	alpha21364/internal/sim/engine.go:93.42,99.2 4 12
+//
+// (file:startLine.col,endLine.col numStatements hitCount).
+func packageCoverage(profilePath string) (map[string]pkgCov, error) {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cov := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		colon := strings.LastIndex(text, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", profilePath, line, text)
+		}
+		pkg := path.Dir(text[:colon])
+		fields := strings.Fields(text[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", profilePath, line, text)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: malformed counts in %q", profilePath, line, text)
+		}
+		c := cov[pkg]
+		c.total += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		cov[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cov) == 0 {
+		return nil, fmt.Errorf("%s: empty profile (did the test run produce coverage?)", profilePath)
+	}
+	return cov, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeFloors(floorsPath string, cov map[string]pkgCov, margin float64) error {
+	floors := make(map[string]float64, len(cov))
+	for pkg, c := range cov {
+		floor := math.Floor(c.percent() - margin)
+		if floor < 0 {
+			floor = 0
+		}
+		floors[pkg] = floor
+	}
+	data, err := json.MarshalIndent(floors, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(floorsPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, pkg := range sortedKeys(floors) {
+		fmt.Printf("%-40s %6.1f%% (floor %4.0f%%)\n", pkg, cov[pkg].percent(), floors[pkg])
+	}
+	fmt.Printf("wrote %s (%d packages, margin %.0f points)\n", floorsPath, len(floors), margin)
+	return nil
+}
+
+func checkFloors(floorsPath string, cov map[string]pkgCov) error {
+	data, err := os.ReadFile(floorsPath)
+	if err != nil {
+		return err
+	}
+	var floors map[string]float64
+	if err := json.Unmarshal(data, &floors); err != nil {
+		return fmt.Errorf("%s: %w", floorsPath, err)
+	}
+	var failures []string
+	for _, pkg := range sortedKeys(cov) {
+		pct := cov[pkg].percent()
+		floor, ok := floors[pkg]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f%% covered but no floor recorded; add one with covercheck -write", pkg, pct))
+			continue
+		}
+		status := "ok"
+		if pct < floor {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: coverage %.1f%% fell below the %.0f%% floor", pkg, pct, floor))
+		}
+		fmt.Printf("%-40s %6.1f%% (floor %4.0f%%) %s\n", pkg, pct, floor, status)
+	}
+	for _, pkg := range sortedKeys(floors) {
+		if _, ok := cov[pkg]; !ok {
+			// A floor for a package the profile no longer sees: stale, but
+			// not a coverage regression — surface it without failing.
+			fmt.Printf("%-40s absent from profile (stale floor?)\n", pkg)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d coverage failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("all %d packages at or above their floors\n", len(cov))
+	return nil
+}

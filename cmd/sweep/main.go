@@ -12,7 +12,7 @@
 //	sweep -spec FILE [-out DIR] [-workers N] [-progress] [-json]
 //	sweep -emit-spec [-figure F | -matrix ... | -run ...]   > specs.json
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
-//	      [-workers N] [-progress] [-json]
+//	      [-workers N] [-progress] [-json] [-check] [-reps N [-confidence C]]
 //	sweep -matrix [-algos A,B] [-patterns P,Q] [-processes X,Y] [-rates R1,R2]
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
@@ -96,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	verify := fs.Bool("verify", false, "rerun everything and check the paper's claims")
 	markdown := fs.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+	checkFlag := fs.Bool("check", false, "enable the online invariant oracle (conservation, VC bounds, grant legality, deadlock watchdog) for every simulation")
+	reps := fs.Int("reps", 0, "replications per point: run each point N times with derived seeds and attach mean/stddev/confidence-interval statistics (0 or 1 = single run)")
+	confidence := fs.Float64("confidence", 0, "confidence level of the -reps interval (default 0.95)")
 	progress := fs.Bool("progress", false, "log Runner events (each completed simulation) to stderr")
 	jsonOut := fs.Bool("json", false, "stream Result JSONL to stdout instead of formatted tables")
 
@@ -132,6 +135,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := rejectContradictions(set); err != nil {
 		return err
 	}
+	if err := rejectValueContradictions(set, *reps); err != nil {
+		return err
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile, logger.Printf)
 	if err != nil {
@@ -141,7 +147,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	a := &app{out: stdout, log: logger, json: *jsonOut, dir: *out}
 
-	o := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	o := experiment.Options{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+		Check: *checkFlag, Replications: *reps, Confidence: *confidence,
+	}
 	var runnerOpts []experiment.RunnerOption
 	runnerOpts = append(runnerOpts, experiment.WithWorkers(*workers))
 	if *progress {
@@ -276,7 +285,8 @@ func rejectContradictions(set map[string]bool) error {
 	var errs []error
 	// -spec fully describes the work; every selection flag contradicts it.
 	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
-		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay"} {
+		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay",
+		"check", "reps", "confidence"} {
 		errs = append(errs, conflict("spec", f, "a spec file fixes the whole scenario; edit the file instead"))
 	}
 	errs = append(errs,
@@ -317,6 +327,13 @@ func rejectContradictions(set map[string]bool) error {
 	} {
 		errs = append(errs, conflict(pair[0], pair[1], "that axis flag belongs to the other mode"))
 	}
+	// The bench suite measures the unchecked, unreplicated hot path.
+	errs = append(errs,
+		conflict("bench", "check", "the bench suite measures the unchecked hot path; see DESIGN.md for the enabled cost model"),
+		conflict("bench", "reps", "the bench suite is fixed"),
+		// Recording replays every replication into the same trace file.
+		conflict("record", "reps", "every replication would rewrite the trace file"),
+	)
 	// The baseline comparison is part of bench mode.
 	if set["bench-baseline"] && !set["bench"] {
 		return fmt.Errorf("-bench-baseline requires -bench")
@@ -325,6 +342,15 @@ func rejectContradictions(set map[string]bool) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// rejectValueContradictions catches flag combinations that depend on
+// flag values rather than mere presence.
+func rejectValueContradictions(set map[string]bool, reps int) error {
+	if set["confidence"] && reps < 2 {
+		return fmt.Errorf("-confidence requires -reps 2 or more (there is no interval over one run)")
 	}
 	return nil
 }
@@ -549,6 +575,7 @@ func matrixSpec(o experiment.Options, algos, patterns, processes, rates, model, 
 	base.Model = model
 	sp := experiment.MatrixSpec(base, kinds, pats, procs, rs)
 	sp.Name = "Scenario matrix"
+	o.ApplyStudy(&sp)
 	if err := sp.Validate(); err != nil {
 		return experiment.Spec{}, err
 	}
@@ -583,6 +610,7 @@ func runSpecFromFlags(o experiment.Options, algo, pattern, process, model string
 		}
 	}
 	sp := experiment.NewSpec(opts...)
+	o.ApplyStudy(&sp)
 	if err := sp.Validate(); err != nil {
 		return experiment.Spec{}, err
 	}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -18,8 +19,17 @@ import (
 )
 
 func main() {
-	fmt.Println("4x4 torus, SPAA-rotary: avg latency (ns) per pattern x process")
-	fmt.Println()
+	if err := run(os.Stdout, 8000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the whole example at the given per-simulation cycle
+// count, writing the tables to out. The test drives it at reduced
+// fidelity; main uses 8000 cycles.
+func run(out io.Writer, cycles int) error {
+	fmt.Fprintln(out, "4x4 torus, SPAA-rotary: avg latency (ns) per pattern x process")
+	fmt.Fprintln(out)
 
 	patterns := []alpha21364.Pattern{
 		alpha21364.Uniform, alpha21364.Transpose, alpha21364.Tornado,
@@ -27,59 +37,60 @@ func main() {
 	}
 	processes := alpha21364.ProcessNames()
 
-	fmt.Printf("%-16s", "pattern")
+	fmt.Fprintf(out, "%-16s", "pattern")
 	for _, proc := range processes {
-		fmt.Printf("  %-14s", proc)
+		fmt.Fprintf(out, "  %-14s", proc)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, pat := range patterns {
-		fmt.Printf("%-16s", pat)
+		fmt.Fprintf(out, "%-16s", pat)
 		for _, proc := range processes {
 			res, err := alpha21364.RunTiming(alpha21364.TimingSetup{
 				Width: 4, Height: 4, Kind: alpha21364.SPAARotary, Pattern: pat,
-				Process: proc, Rate: 0.03, Cycles: 8000, Seed: 1,
+				Process: proc, Rate: 0.03, Cycles: cycles, Seed: 1,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  %-14.1f", res.AvgLatencyNS)
+			fmt.Fprintf(out, "  %-14.1f", res.AvgLatencyNS)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	// Record a bursty hotspot run, then replay the identical packet
 	// sequence under a slower arbiter.
 	dir, err := os.MkdirTemp("", "workloads")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	tracePath := filepath.Join(dir, "bursty-hotspot.trace")
 
 	setup := alpha21364.TimingSetup{
 		Width: 4, Height: 4, Kind: alpha21364.SPAARotary, Pattern: alpha21364.Hotspot,
-		Process: "onoff", Rate: 0.03, Cycles: 8000, Seed: 1,
+		Process: "onoff", Rate: 0.03, Cycles: cycles, Seed: 1,
 		RecordTo: tracePath,
 	}
 	recorded, err := alpha21364.RunTiming(setup)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	trace, err := alpha21364.ReadTraceFile(tracePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nrecorded %d injections of a bursty hotspot run (SPAA-rotary: %.1f ns avg)\n",
+	fmt.Fprintf(out, "\nrecorded %d injections of a bursty hotspot run (SPAA-rotary: %.1f ns avg)\n",
 		len(trace.Events), recorded.AvgLatencyNS)
 
 	replayed, err := alpha21364.RunTiming(alpha21364.TimingSetup{
-		Width: 4, Height: 4, Kind: alpha21364.PIM1, Cycles: 8000, Seed: 1,
+		Width: 4, Height: 4, Kind: alpha21364.PIM1, Cycles: cycles, Seed: 1,
 		ReplayFrom: tracePath,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("replayed the same packet sequence under PIM1:      %.1f ns avg\n",
+	fmt.Fprintf(out, "replayed the same packet sequence under PIM1:      %.1f ns avg\n",
 		replayed.AvgLatencyNS)
-	fmt.Println("\nSame packets, same ticks — only the arbiter changed.")
+	fmt.Fprintln(out, "\nSame packets, same ticks — only the arbiter changed.")
+	return nil
 }

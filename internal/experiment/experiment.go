@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"alpha21364/internal/check"
 	"alpha21364/internal/core"
 	"alpha21364/internal/network"
 	"alpha21364/internal/router"
@@ -36,6 +37,14 @@ type Options struct {
 	// per available CPU, 1 (or any negative value) runs serially. Results
 	// are byte-identical regardless of the worker count.
 	Workers int
+	// Check enables the online invariant oracle on every canned spec the
+	// options build (cmd/sweep -check).
+	Check bool
+	// Replications, when > 1, replicates every point of the canned specs
+	// with derived seeds (cmd/sweep -reps); Confidence is the interval's
+	// confidence level (0 = 0.95).
+	Replications int
+	Confidence   float64
 	// Progress, when non-nil, is called once per finished simulation job;
 	// see ProgressFunc.
 	Progress ProgressFunc
@@ -75,6 +84,20 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
+// ApplyStudy stamps the study-wide toggles — invariant checking and
+// replication — into a spec built from these options.
+func (o Options) ApplyStudy(sp *Spec) {
+	if o.Check {
+		sp.Check = true
+	}
+	if o.Replications > 1 {
+		sp.Replications = o.Replications
+		if o.Confidence != 0 {
+			sp.Confidence = o.Confidence
+		}
+	}
+}
+
 // NoWarmup is a TimingSetup.WarmupFraction sentinel requesting that no
 // cycles be excluded from statistics. (A literal 0 keeps the 0.2 default
 // so existing callers are unaffected.)
@@ -107,6 +130,13 @@ type TimingSetup struct {
 	// the warmup entirely so statistics cover the whole run.
 	WarmupFraction float64
 	Seed           uint64
+	// Check enables the online invariant oracle (internal/check): grant
+	// legality on every arbitration, periodic conservation/bounds sweeps
+	// with a packet-arena cross-check, and a deadlock watchdog. The first
+	// violation aborts the run with the structured report as the error.
+	// Checking never perturbs the simulation, so a clean checked run's
+	// results are identical to an unchecked one's.
+	Check bool
 	// EpochCycles, when positive, tracks delivered flits in epochs of that
 	// many router cycles, exposing the cyclic delivered-throughput pattern
 	// the paper describes for saturated networks (§3.4).
@@ -188,6 +218,42 @@ type TimingResult struct {
 	ThroughputCoV float64
 }
 
+// installChecker wires the invariant oracle over a built simulation: the
+// checker observes every router's arbitration through the oracle hooks
+// and sweeps the conservation/bounds/watchdog invariants on a periodic
+// self-rescheduling event. The sweep only reads simulation state, so an
+// uncompromised checked run stays byte-identical to an unchecked one.
+func installChecker(eng *sim.Engine, net *network.Network, gen *workload.Generator, period sim.Ticks) *check.Checker {
+	routers := make([]*router.Router, net.Nodes())
+	for node := 0; node < net.Nodes(); node++ {
+		routers[node] = net.Router(topology.Node(node))
+	}
+	chk := check.New(check.Config{RouterPeriod: period}, check.Probes{
+		Injected:          func() int64 { return net.TotalCounters().Injected },
+		Delivered:         func() int64 { return net.TotalCounters().DeliveredLocal },
+		Buffered:          net.Buffered,
+		LinkFlight:        net.LinkFlight,
+		PendingInjections: gen.PendingInjections,
+		ArenaLive:         gen.ArenaLive,
+		Sunk:              gen.Sunk,
+		Stop:              eng.Stop,
+		Routers:           routers,
+	})
+	for _, r := range routers {
+		r.SetOracle(chk)
+	}
+	interval := chk.Interval()
+	var sweep func()
+	sweep = func() {
+		chk.Sweep(eng.Now())
+		if chk.Err() == nil {
+			eng.ScheduleDelay(interval, sweep)
+		}
+	}
+	eng.ScheduleDelay(interval, sweep)
+	return chk
+}
+
 // cancelPollCycles is how often (in router cycles) a context-supervised
 // timing run polls for cancellation; it bounds how stale a cancel can go
 // unnoticed inside one simulation.
@@ -250,6 +316,10 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 	}
 	gen := workload.New(wcfg, net, eng, col)
 	eng.AddClock(rcfg.RouterPeriod, 0, gen)
+	var chk *check.Checker
+	if s.Check {
+		chk = installChecker(eng, net, gen, rcfg.RouterPeriod)
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return TimingResult{}, err
@@ -269,6 +339,12 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 		eng.ScheduleDelay(interval, poll)
 	}
 	eng.Run(end)
+	if chk != nil {
+		chk.Final(eng.Now())
+		if err := chk.Err(); err != nil {
+			return TimingResult{}, err
+		}
+	}
 	if ctx != nil && ctx.Err() != nil {
 		return TimingResult{}, ctx.Err()
 	}
@@ -311,6 +387,7 @@ func specFromSetup(name string, s TimingSetup, kinds []core.Kind, rates []float6
 		Version:  SpecVersion,
 		Name:     name,
 		Arbiters: kindNames(kinds),
+		Check:    s.Check,
 		Topology: &TopologySpec{Width: s.Width, Height: s.Height},
 		Workload: &WorkloadSpec{MaxOutstanding: s.MaxOutstanding},
 		Timing: &TimingSpec{

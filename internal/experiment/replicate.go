@@ -1,0 +1,73 @@
+package experiment
+
+// replicate.go is the statistical half of the oracle PR: when a Spec sets
+// Replications > 1, every point of the sweep is simulated that many times
+// with deterministically derived seeds (see repSeed), the replications
+// fan across the Runner's ordinary worker pool like any other jobs, and
+// the point's headline values — replication 0, the spec's own seed — are
+// annotated with per-metric mean, sample standard deviation, and a
+// Student's t confidence interval. The annotation is part of the Result
+// schema: serialized, golden-tested, and JSONL round-tripped.
+
+import "alpha21364/internal/stats"
+
+// DefaultConfidence is the confidence level used when a replicated spec
+// does not set one.
+const DefaultConfidence = 0.95
+
+// MetricStats summarizes one metric across the replications of a point.
+type MetricStats struct {
+	// Mean and Stddev are the sample mean and sample (n-1) standard
+	// deviation over the replications.
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	// CIHalfWidth is the half-width of the two-sided Student's t
+	// confidence interval for the mean at the spec's confidence level:
+	// the true mean lies in Mean ± CIHalfWidth with that confidence.
+	CIHalfWidth float64 `json:"ci_half_width"`
+}
+
+// ReplicationStats is the per-point replication annotation. Timing points
+// carry throughput and latency metrics; standalone points carry the match
+// rate. Unused metrics are omitted from the serialized form.
+type ReplicationStats struct {
+	// Replications is how many independent seeds produced the statistics.
+	Replications int `json:"replications"`
+	// Confidence is the interval's two-sided confidence level.
+	Confidence float64 `json:"confidence"`
+
+	Throughput      MetricStats `json:"throughput,omitzero"`
+	AvgLatencyNS    MetricStats `json:"avg_latency_ns,omitzero"`
+	LatencyP99NS    MetricStats `json:"latency_p99_ns,omitzero"`
+	MatchesPerCycle MetricStats `json:"matches_per_cycle,omitzero"`
+}
+
+// metricStats aggregates one metric's replication samples.
+func metricStats(confidence float64, xs []float64) MetricStats {
+	mean, sd := stats.MeanStddev(xs)
+	return MetricStats{
+		Mean:        mean,
+		Stddev:      sd,
+		CIHalfWidth: stats.ConfidenceHalfWidth(confidence, sd, len(xs)),
+	}
+}
+
+// aggregateReplications summarizes one point's replication results.
+func aggregateReplications(reps []ResultPoint, standaloneMode bool, confidence float64) *ReplicationStats {
+	rs := &ReplicationStats{Replications: len(reps), Confidence: confidence}
+	xs := make([]float64, len(reps))
+	collect := func(metric func(*ResultPoint) float64) []float64 {
+		for i := range reps {
+			xs[i] = metric(&reps[i])
+		}
+		return xs
+	}
+	if standaloneMode {
+		rs.MatchesPerCycle = metricStats(confidence, collect(func(p *ResultPoint) float64 { return p.MatchesPerCycle }))
+		return rs
+	}
+	rs.Throughput = metricStats(confidence, collect(func(p *ResultPoint) float64 { return p.Throughput }))
+	rs.AvgLatencyNS = metricStats(confidence, collect(func(p *ResultPoint) float64 { return p.AvgLatencyNS }))
+	rs.LatencyP99NS = metricStats(confidence, collect(func(p *ResultPoint) float64 { return p.LatencyP99NS }))
+	return rs
+}

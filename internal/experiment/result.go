@@ -82,6 +82,11 @@ type ResultPoint struct {
 	EpochFlits    []int64 `json:"epoch_flits,omitempty"`
 	ThroughputCoV float64 `json:"throughput_cov,omitempty"`
 
+	// Replication carries the multi-seed statistics of a replicated run
+	// (Spec.Replications > 1): the headline fields above are replication
+	// 0 — the spec's own seed — and Replication summarizes all seeds.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+
 	// Axis is the standalone axis value (load, load fraction, or
 	// occupancy, per the spec).
 	Axis float64 `json:"axis,omitempty"`

@@ -176,7 +176,7 @@ func (r *Runner) run(ctx context.Context, spec Spec, emit func(Event)) (*Result,
 	done := 0
 	remaining := make([]int, len(pl.series))
 	for i, s := range pl.series {
-		remaining[i] = s.points
+		remaining[i] = s.jobs
 	}
 
 	jobs := make([]jobSpec[ResultPoint], total)
@@ -226,9 +226,11 @@ func (r *Runner) run(ctx context.Context, spec Spec, emit func(Event)) (*Result,
 
 // assemble builds the Result from the job-ordered points, keeping the
 // contiguous prefix [0, firstBad) — exactly the jobs whose results are
-// valid — and attributing each to its series. Series whose jobs all fall
-// past the cut are still present, empty, so a partial Result keeps the
-// full shape of its spec.
+// valid — and attributing each to its series. A point's replications are
+// adjacent in job order, so the cut falls on whole points: a point whose
+// replications only partially completed is dropped. Series whose jobs all
+// fall past the cut are still present, empty, so a partial Result keeps
+// the full shape of its spec.
 func (pl *plan) assemble(points []ResultPoint, firstBad int) *Result {
 	res := &Result{
 		Version:        ResultVersion,
@@ -240,12 +242,15 @@ func (pl *plan) assemble(points []ResultPoint, firstBad int) *Result {
 	for i, s := range pl.series {
 		res.Series[i] = s.meta
 	}
-	for i, pj := range pl.jobs {
-		if i >= firstBad {
-			break
+	standaloneMode := pl.spec.Mode == ModeStandalone
+	for i := 0; i+pl.reps <= firstBad; i += pl.reps {
+		pj := pl.jobs[i]
+		pt := points[i] // replication 0: the spec's own seed
+		if pl.reps > 1 {
+			pt.Replication = aggregateReplications(points[i:i+pl.reps], standaloneMode, pl.confidence)
 		}
 		s := &res.Series[pj.series]
-		s.Points = append(s.Points, points[i])
+		s.Points = append(s.Points, pt)
 	}
 	return res
 }

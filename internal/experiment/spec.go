@@ -54,6 +54,26 @@ type Spec struct {
 	// per arbiter × pattern × process combination when those axes fan out.
 	Arbiters []string `json:"arbiters"`
 
+	// Replications, when greater than 1, runs every point that many times
+	// with deterministically derived per-replication seeds and attaches
+	// mean/stddev/confidence-interval statistics to each point
+	// (ResultPoint.Replication). 0 and 1 both mean a single run whose
+	// points are byte-identical to those of a spec without the field:
+	// replication 0 always runs the spec's own seed.
+	Replications int `json:"replications,omitempty"`
+	// Confidence is the two-sided confidence level of the replication
+	// interval; 0 means the 0.95 default. It requires Replications > 1.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Check enables the online invariant oracle (internal/check) on every
+	// simulation of the run: packet conservation cross-checked against the
+	// packet arena, per-(port, channel) occupancy and credit bounds, grant
+	// legality for every arbiter, and a deadlock/livelock watchdog. A
+	// violated invariant fails the run with a structured report. In
+	// standalone mode the oracle validates every arbitration pass's
+	// connection matrix and matching. Checking never changes simulation
+	// results — a clean checked run measures exactly the same numbers.
+	Check bool `json:"check,omitempty"`
+
 	// Topology, Workload, and Timing describe timing-mode runs; they must
 	// be nil in standalone mode.
 	Topology *TopologySpec `json:"topology,omitempty"`
@@ -271,6 +291,22 @@ func WithEpochCycles(n int) SpecOption {
 	return func(s *Spec) { s.timing().EpochCycles = n }
 }
 
+// WithReplications runs every point n times with derived seeds and
+// attaches mean/stddev/confidence-interval statistics to each point.
+func WithReplications(n int) SpecOption {
+	return func(s *Spec) { s.Replications = n }
+}
+
+// WithConfidence sets the replication interval's confidence level.
+func WithConfidence(c float64) SpecOption {
+	return func(s *Spec) { s.Confidence = c }
+}
+
+// WithCheck enables the online invariant oracle for every simulation.
+func WithCheck() SpecOption {
+	return func(s *Spec) { s.Check = true }
+}
+
 // WithStandaloneSweep switches the spec to standalone mode with the given
 // axis and values.
 func WithStandaloneSweep(axis string, values ...float64) SpecOption {
@@ -291,6 +327,31 @@ func WithStandalone(sa StandaloneSpec) SpecOption {
 		copy := sa
 		s.Standalone = &copy
 	}
+}
+
+// reps returns the effective replication count (0 and 1 both mean one).
+func (s Spec) reps() int {
+	if s.Replications > 1 {
+		return s.Replications
+	}
+	return 1
+}
+
+// confidence returns the effective confidence level.
+func (s Spec) confidence() float64 {
+	if s.Confidence != 0 {
+		return s.Confidence
+	}
+	return DefaultConfidence
+}
+
+// repSeed derives the seed of replication rep from a base seed.
+// Replication 0 runs the base seed itself, so a single-replication run
+// reproduces the unreplicated simulation byte for byte; later
+// replications step by the golden-ratio increment, giving distinct,
+// deterministic, well-spread seeds.
+func repSeed(seed uint64, rep int) uint64 {
+	return seed + uint64(rep)*0x9e3779b97f4a7c15
 }
 
 // patterns returns the pattern axis with its default.
@@ -324,6 +385,17 @@ func (s Spec) Validate() error {
 	}
 	if len(s.Arbiters) == 0 {
 		return specErr("at least one arbiter is required")
+	}
+	if s.Replications < 0 {
+		return specErr("replications %d must be >= 0", s.Replications)
+	}
+	if s.Confidence != 0 {
+		if s.Confidence <= 0 || s.Confidence >= 1 {
+			return specErr("confidence %g must be within (0, 1)", s.Confidence)
+		}
+		if s.reps() == 1 {
+			return specErr("confidence requires replications > 1 (there is no interval over one run)")
+		}
 	}
 	kinds := make([]core.Kind, len(s.Arbiters))
 	for i, name := range s.Arbiters {
@@ -413,6 +485,9 @@ func (s Spec) validateTiming() error {
 		points := len(s.Arbiters) * len(w.patterns()) * len(w.processes()) * len(w.Rates)
 		if points != 1 {
 			return specErr("record_to needs a single-scenario spec (this one expands to %d runs sharing the file)", points)
+		}
+		if s.reps() > 1 {
+			return specErr("record_to contradicts replications (every replication would rewrite the trace file)")
 		}
 	}
 	return nil
@@ -563,8 +638,8 @@ func WriteSpecFile(path string, specs ...Spec) error {
 // planSeries is one result series of an expanded spec, plus the typed
 // identity its jobs run with.
 type planSeries struct {
-	meta   ResultSeries // label and identity, no points yet
-	points int
+	meta ResultSeries // label and identity, no points yet
+	jobs int          // job count (points × replications)
 }
 
 // planJob is one simulation of an expanded spec, with the coordinates
@@ -572,15 +647,20 @@ type planSeries struct {
 type planJob struct {
 	series int
 	point  int
+	rep    int
 	label  string
 	run    func(ctx context.Context) (ResultPoint, error)
 }
 
 // plan is a validated, fully-expanded Spec: the flat series-major job
-// list the Runner executes. Every job's entire input is fixed here,
+// list the Runner executes — replications of one point are adjacent, so
+// the contiguous-prefix partial cut always falls on a whole point. Every
+// job's entire input (including its replication seed) is fixed here,
 // before anything runs, so results cannot depend on scheduling order.
 type plan struct {
 	spec           Spec
+	reps           int
+	confidence     float64
 	series         []planSeries
 	jobs           []planJob
 	saturationLoad float64 // set for standalone saturation-relative axes
@@ -597,8 +677,16 @@ func (s Spec) expand() (*plan, error) {
 	return s.expandTiming()
 }
 
+// repLabel appends the replication suffix to a job label.
+func repLabel(label string, rep, reps int) string {
+	if reps <= 1 {
+		return label
+	}
+	return fmt.Sprintf("%s [rep %d/%d]", label, rep+1, reps)
+}
+
 func (s Spec) expandTiming() (*plan, error) {
-	pl := &plan{spec: s}
+	pl := &plan{spec: s, reps: s.reps(), confidence: s.confidence()}
 	w := s.Workload
 	base := TimingSetup{
 		Width:          s.Topology.Width,
@@ -609,23 +697,29 @@ func (s Spec) expandTiming() (*plan, error) {
 		ScalePipeline:  s.Timing.ScalePipeline,
 		EpochCycles:    s.Timing.EpochCycles,
 		Seed:           s.Timing.Seed,
+		Check:          s.Check,
 	}
 	if w.ReplayFrom != "" {
 		for _, name := range s.Arbiters {
 			k, _ := core.ParseKind(name)
-			setup := base
-			setup.Kind = k
-			setup.ReplayFrom = w.ReplayFrom
 			si := len(pl.series)
 			pl.series = append(pl.series, planSeries{
-				meta:   ResultSeries{Label: k.String(), Arbiter: k.String()},
-				points: 1,
+				meta: ResultSeries{Label: k.String(), Arbiter: k.String()},
+				jobs: pl.reps,
 			})
-			pl.jobs = append(pl.jobs, planJob{
-				series: si,
-				label:  fmt.Sprintf("%s / %v replaying %s", s.title(), k, w.ReplayFrom),
-				run:    timingJob(setup),
-			})
+			for rep := 0; rep < pl.reps; rep++ {
+				setup := base
+				setup.Kind = k
+				setup.ReplayFrom = w.ReplayFrom
+				setup.Seed = repSeed(base.Seed, rep)
+				pl.jobs = append(pl.jobs, planJob{
+					series: si,
+					rep:    rep,
+					label: repLabel(fmt.Sprintf("%s / %v replaying %s", s.title(), k, w.ReplayFrom),
+						rep, pl.reps),
+					run: timingJob(setup),
+				})
+			}
 		}
 		return pl, nil
 	}
@@ -651,22 +745,27 @@ func (s Spec) expandTiming() (*plan, error) {
 						Process: proc,
 						Model:   w.Model,
 					},
-					points: len(w.Rates),
+					jobs: len(w.Rates) * pl.reps,
 				})
 				for pi, rate := range w.Rates {
-					setup := base
-					setup.Kind = k
-					setup.Pattern = pat
-					setup.Process = proc
-					setup.Model = w.Model
-					setup.Rate = rate
-					setup.RecordTo = w.RecordTo
-					pl.jobs = append(pl.jobs, planJob{
-						series: si,
-						point:  pi,
-						label:  fmt.Sprintf("%s / %s @ %g", s.title(), label, rate),
-						run:    timingJob(setup),
-					})
+					for rep := 0; rep < pl.reps; rep++ {
+						setup := base
+						setup.Kind = k
+						setup.Pattern = pat
+						setup.Process = proc
+						setup.Model = w.Model
+						setup.Rate = rate
+						setup.RecordTo = w.RecordTo
+						setup.Seed = repSeed(base.Seed, rep)
+						pl.jobs = append(pl.jobs, planJob{
+							series: si,
+							point:  pi,
+							rep:    rep,
+							label: repLabel(fmt.Sprintf("%s / %s @ %g", s.title(), label, rate),
+								rep, pl.reps),
+							run: timingJob(setup),
+						})
+					}
 				}
 			}
 		}
@@ -696,7 +795,7 @@ func timingJob(setup TimingSetup) func(ctx context.Context) (ResultPoint, error)
 }
 
 func (s Spec) expandStandalone() (*plan, error) {
-	pl := &plan{spec: s}
+	pl := &plan{spec: s, reps: s.reps(), confidence: s.confidence()}
 	sa := s.Standalone
 	cfg := standalone.DefaultConfig(0)
 	cfg.Cycles = sa.Cycles
@@ -707,48 +806,61 @@ func (s Spec) expandStandalone() (*plan, error) {
 	if needSat {
 		pl.saturationLoad = standalone.MCMSaturationLoad(cfg)
 	}
+	check := s.Check
 	for _, name := range s.Arbiters {
 		k, _ := core.ParseKind(name)
 		si := len(pl.series)
 		pl.series = append(pl.series, planSeries{
-			meta:   ResultSeries{Label: k.String(), Arbiter: k.String()},
-			points: len(sa.Values),
+			meta: ResultSeries{Label: k.String(), Arbiter: k.String()},
+			jobs: len(sa.Values) * pl.reps,
 		})
 		for pi, v := range sa.Values {
-			c := cfg
-			switch sa.Axis {
-			case AxisLoad:
-				c.Load = v
-				c.Occupancy = sa.Occupancy
-			case AxisLoadFraction:
-				c.Load = v * pl.saturationLoad
-				c.Occupancy = sa.Occupancy
-			case AxisOccupancy:
-				c.Load = sa.Load
-				if sa.Load == 0 {
-					c.Load = pl.saturationLoad
-				}
-				c.Occupancy = v
-			}
-			kind, axisValue := k, v
-			pl.jobs = append(pl.jobs, planJob{
-				series: si,
-				point:  pi,
-				label:  fmt.Sprintf("%s / %v @ %g", s.title(), k, v),
-				run: func(ctx context.Context) (ResultPoint, error) {
-					if ctx != nil && ctx.Err() != nil {
-						return ResultPoint{}, ctx.Err()
+			for rep := 0; rep < pl.reps; rep++ {
+				c := cfg
+				c.Seed = repSeed(cfg.Seed, rep)
+				switch sa.Axis {
+				case AxisLoad:
+					c.Load = v
+					c.Occupancy = sa.Occupancy
+				case AxisLoadFraction:
+					c.Load = v * pl.saturationLoad
+					c.Occupancy = sa.Occupancy
+				case AxisOccupancy:
+					c.Load = sa.Load
+					if sa.Load == 0 {
+						c.Load = pl.saturationLoad
 					}
-					res := standalone.Run(kind, c)
-					return ResultPoint{
-						Axis:            axisValue,
-						MatchesPerCycle: res.MatchesPerCycle,
-						OfferedPerCycle: res.OfferedPerCycle,
-						DroppedPerCycle: res.DroppedPerCycle,
-						MeanQueueLen:    res.MeanQueueLen,
-					}, nil
-				},
-			})
+					c.Occupancy = v
+				}
+				kind, axisValue := k, v
+				pl.jobs = append(pl.jobs, planJob{
+					series: si,
+					point:  pi,
+					rep:    rep,
+					label:  repLabel(fmt.Sprintf("%s / %v @ %g", s.title(), k, v), rep, pl.reps),
+					run: func(ctx context.Context) (ResultPoint, error) {
+						if ctx != nil && ctx.Err() != nil {
+							return ResultPoint{}, ctx.Err()
+						}
+						var res standalone.Result
+						if check {
+							var err error
+							if res, err = standalone.RunChecked(kind, c); err != nil {
+								return ResultPoint{}, err
+							}
+						} else {
+							res = standalone.Run(kind, c)
+						}
+						return ResultPoint{
+							Axis:            axisValue,
+							MatchesPerCycle: res.MatchesPerCycle,
+							OfferedPerCycle: res.OfferedPerCycle,
+							DroppedPerCycle: res.DroppedPerCycle,
+							MeanQueueLen:    res.MeanQueueLen,
+						}, nil
+					},
+				})
+			}
 		}
 	}
 	return pl, nil
@@ -772,10 +884,22 @@ func kindNames(kinds []core.Kind) []string {
 
 // FigureSpecs returns the canned Specs reproducing a paper figure — one
 // Spec per panel, so "10" yields four. "all" concatenates every figure.
-// Options supplies fidelity (Quick, CyclesOverride, MaxRatePoints) and
-// the seed; running the Specs through a Runner reproduces the old
+// Options supplies fidelity (Quick, CyclesOverride, MaxRatePoints), the
+// seed, and the study-wide toggles (Check, Replications); with the
+// toggles off, running the Specs through a Runner reproduces the old
 // figure-function output byte for byte.
 func FigureSpecs(name string, o Options) ([]Spec, error) {
+	specs, err := figureSpecs(name, o)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		o.ApplyStudy(&specs[i])
+	}
+	return specs, nil
+}
+
+func figureSpecs(name string, o Options) ([]Spec, error) {
 	timingSpec := func(title string, w, h int, pattern traffic.Pattern, kinds []core.Kind,
 		rates []float64, mutate func(*Spec)) Spec {
 		sp := Spec{
@@ -854,7 +978,7 @@ func FigureSpecs(name string, o Options) ([]Spec, error) {
 	case "all":
 		var all []Spec
 		for _, n := range figureSpecNames {
-			specs, err := FigureSpecs(n, o)
+			specs, err := figureSpecs(n, o)
 			if err != nil {
 				return nil, err
 			}

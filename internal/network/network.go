@@ -169,6 +169,11 @@ func (n *Network) Inject(p *packet.Packet, node topology.Node, in ports.In, now 
 	return n.routers[node].Inject(p, in, now)
 }
 
+// LinkFlight returns the number of packets dispatched onto inter-router
+// links but not yet committed to the neighbor's buffer; the invariant
+// oracle's conservation check uses it.
+func (n *Network) LinkFlight() int64 { return n.linkFlight }
+
 // Buffered returns the total packets buffered across all routers.
 func (n *Network) Buffered() int {
 	total := 0

@@ -106,6 +106,11 @@ type Router struct {
 
 	Counters Counters
 
+	// oracle, when non-nil, observes every arbitration decision for
+	// online invariant checking; oracleGrants is its reused record buffer.
+	oracle       Oracle
+	oracleGrants []SPAAGrant
+
 	// scratch
 	gaRows []int
 	gaNet  []bool
@@ -348,6 +353,12 @@ func (r *Router) tickSPAA(now sim.Ticks) {
 			local: mv.local, resolveAt: gaTick,
 		})
 		r.Counters.Nominations++
+		if r.oracle != nil {
+			r.oracle.SPAANominate(r, now, SPAAGrant{
+				ID: r.slab.pkt[pk].ID, Row: mv.row, In: in, Ch: r.slab.ch[pk],
+				Out: mv.out, TargetCh: mv.targetCh, Local: mv.local,
+			}, gaTick)
+		}
 	}
 }
 
@@ -405,6 +416,9 @@ func (r *Router) olderThan(a, b int32) bool {
 // the grant policy picks a winner among still-valid requests; the rest are
 // reset for re-nomination (SPAA step 3).
 func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
+	if r.oracle != nil {
+		r.oracleGrants = r.oracleGrants[:0]
+	}
 	for out := ports.Out(0); out < ports.NumOut; out++ {
 		r.gaRows = r.gaRows[:0]
 		r.gaNet = r.gaNet[:0]
@@ -433,6 +447,12 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 		for k, idx := range r.gaIdx {
 			n := &due[idx]
 			if k == w {
+				if r.oracle != nil {
+					r.oracleGrants = append(r.oracleGrants, SPAAGrant{
+						ID: r.slab.pkt[n.pk].ID, Row: n.row, In: r.slab.in[n.pk],
+						Ch: r.slab.ch[n.pk], Out: n.out, TargetCh: n.targetCh, Local: n.local,
+					})
+				}
 				r.dispatch(n.pk, n.out, n.targetCh, n.local, now)
 			} else {
 				r.reset(n.pk)
@@ -446,6 +466,9 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 		if due[i].pk >= 0 {
 			panic("router: unresolved nomination")
 		}
+	}
+	if r.oracle != nil {
+		r.oracle.SPAAResolve(r, now, r.oracleGrants)
 	}
 }
 
@@ -568,6 +591,9 @@ func (r *Router) assignRow(in ports.In, moves []move, id uint64) int {
 
 func (r *Router) resolveWave(now sim.Ticks) {
 	grants := r.arb.Arbitrate(r.matrix)
+	if r.oracle != nil {
+		r.oracle.WaveResolve(r, now, r.matrix, grants)
+	}
 	for _, g := range grants {
 		cell := r.waveCells[g.Row][g.Col]
 		op := r.outputs[ports.Out(g.Col)]

@@ -303,14 +303,20 @@ func (m *model) buildMatrix(busy ports.OutMask) {
 	}
 }
 
-// drain removes granted packets from their queues.
-func (m *model) drain(grants []core.Grant) {
+// drain removes granted packets from their queues, returning how many
+// grants named a packet that was not queued — always zero for a legal
+// matching; the checked run mode treats nonzero as a violation.
+func (m *model) drain(grants []core.Grant) int {
+	missing := 0
 	for _, g := range grants {
 		in := ports.In(g.Cell.Payload)
 		if dests, ok := m.queues[in].removeKey(g.Cell.Key); ok {
 			m.countDests(in, dests, -1)
+		} else {
+			missing++
 		}
 	}
+	return missing
 }
 
 func (m *model) totalQueued() int {
@@ -326,10 +332,25 @@ func Run(kind core.Kind, cfg Config) Result {
 	return RunArbiter(core.New(kind, sim.NewRNG(cfg.Seed^0x9747b28c)), cfg)
 }
 
+// RunChecked is Run with the arbitration oracle enabled: every cycle's
+// connection matrix must satisfy the builder invariants (Matrix.Validate)
+// and every grant set must be a legal matching over queued packets. The
+// first violation aborts the run with an error. Arrival, occupancy, and
+// arbiter RNG streams are identical to Run's, so a clean checked run
+// measures exactly the same numbers.
+func RunChecked(kind core.Kind, cfg Config) (Result, error) {
+	return runArbiter(core.New(kind, sim.NewRNG(cfg.Seed^0x9747b28c)), cfg, true)
+}
+
 // RunArbiter executes the standalone model for a caller-constructed
 // arbiter — custom PIM/iSLIP iteration counts, or user algorithms
 // implementing core.Arbiter.
 func RunArbiter(arb core.Arbiter, cfg Config) Result {
+	res, _ := runArbiter(arb, cfg, false)
+	return res
+}
+
+func runArbiter(arb core.Arbiter, cfg Config, check bool) (Result, error) {
 	if cfg.Cycles <= 0 {
 		panic("standalone: Cycles must be positive")
 	}
@@ -351,8 +372,21 @@ func RunArbiter(arb core.Arbiter, cfg Config) Result {
 			}
 		}
 		m.buildMatrix(busy)
+		if check {
+			if err := m.matrix.Validate(); err != nil {
+				return Result{}, fmt.Errorf("standalone: %s cycle %d: %w", arb.Name(), cycle, err)
+			}
+		}
 		grants := arb.Arbitrate(m.matrix)
-		m.drain(grants)
+		if check {
+			if err := core.CheckMatching(m.matrix, grants); err != nil {
+				return Result{}, fmt.Errorf("standalone: %s cycle %d: %w", arb.Name(), cycle, err)
+			}
+		}
+		if missing := m.drain(grants); check && missing > 0 {
+			return Result{}, fmt.Errorf("standalone: %s cycle %d: %d grant(s) named packets not in any queue",
+				arb.Name(), cycle, missing)
+		}
 		matches += len(grants)
 		queued += int64(m.totalQueued())
 	}
@@ -362,7 +396,7 @@ func RunArbiter(arb core.Arbiter, cfg Config) Result {
 		OfferedPerCycle: float64(offered-dropped) / float64(cfg.Cycles),
 		DroppedPerCycle: float64(dropped) / float64(cfg.Cycles),
 		MeanQueueLen:    float64(queued) / float64(cfg.Cycles),
-	}
+	}, nil
 }
 
 // MCMSaturationLoad locates the load (arrival probability per input port)

@@ -1,0 +1,91 @@
+package stats
+
+// student.go supports the experiment layer's multi-seed replication
+// statistics: sample mean and standard deviation, plus the Student's t
+// critical value needed for a t-based confidence interval. The t inverse
+// is Hill's classic approximation (G. W. Hill, "Algorithm 396: Student's
+// t-quantiles", CACM 13(10), 1970), accurate to a few parts in 10^4 over
+// the degrees of freedom replication counts produce — far below the
+// sampling noise the interval describes.
+
+import "math"
+
+// MeanStddev returns the sample mean and the sample (n-1) standard
+// deviation of xs. With fewer than two samples the deviation is zero.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(n-1))
+}
+
+// TCritical returns the two-sided Student's t critical value for the
+// given confidence level and degrees of freedom: the t with
+// P(|T_df| <= t) = confidence. It panics on confidence outside (0, 1) or
+// df < 1 — both indicate a caller bug, not a data condition.
+func TCritical(confidence float64, df int) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence must be within (0, 1)")
+	}
+	if df < 1 {
+		panic("stats: degrees of freedom must be >= 1")
+	}
+	alpha := 1 - confidence // two-tailed probability
+	n := float64(df)
+	switch df {
+	case 1:
+		return math.Tan((1 - alpha) * math.Pi / 2)
+	case 2:
+		return math.Sqrt(2/(alpha*(2-alpha)) - 2)
+	}
+	a := 1 / (n - 0.5)
+	b := 48 / (a * a)
+	c := ((20700*a/b-98)*a-16)*a + 96.36
+	d := ((94.5/(b+c)-3)/b + 1) * math.Sqrt(a*math.Pi/2) * n
+	x := d * alpha
+	y := math.Pow(x, 2/n)
+	if y > 0.05+a {
+		// Asymptotic inverse expansion about the normal deviate with the
+		// same two-tailed probability.
+		x = math.Sqrt2 * math.Erfinv(1-alpha)
+		y = x * x
+		if df < 5 {
+			c += 0.3 * (n - 4.5) * (x + 0.6)
+		}
+		c = (((0.05*d*x-5)*x-7)*x-2)*x + b + c
+		y = (((((0.4*y+6.3)*y+36)*y+94.5)/c-y-3)/b + 1) * x
+		y = a * y * y
+		if y > 0.002 {
+			y = math.Exp(y) - 1
+		} else {
+			y = 0.5*y*y + y
+		}
+	} else {
+		y = ((1/(((n+6)/(n*y)-0.089*d-0.822)*(n+2)*3)+0.5/(n+4))*y-1)*(n+1)/(n+2) + 1/y
+	}
+	return math.Sqrt(n * y)
+}
+
+// ConfidenceHalfWidth returns the half-width of the two-sided t-based
+// confidence interval for the mean of n samples with the given sample
+// standard deviation: t_{conf, n-1} * stddev / sqrt(n). With fewer than
+// two samples there is no interval; the half-width is zero.
+func ConfidenceHalfWidth(confidence, stddev float64, n int) float64 {
+	if n < 2 || stddev == 0 {
+		return 0
+	}
+	return TCritical(confidence, n-1) * stddev / math.Sqrt(float64(n))
+}

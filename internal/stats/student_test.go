@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	cases := []struct {
+		xs           []float64
+		mean, stddev float64
+	}{
+		{nil, 0, 0},
+		{[]float64{5}, 5, 0},
+		{[]float64{2, 4}, 3, math.Sqrt2},
+		{[]float64{1, 2, 3, 4, 5}, 3, math.Sqrt(2.5)},
+		{[]float64{7, 7, 7, 7}, 7, 0},
+	}
+	for _, c := range cases {
+		mean, stddev := MeanStddev(c.xs)
+		if math.Abs(mean-c.mean) > 1e-12 || math.Abs(stddev-c.stddev) > 1e-12 {
+			t.Errorf("MeanStddev(%v) = (%g, %g), want (%g, %g)", c.xs, mean, stddev, c.mean, c.stddev)
+		}
+	}
+}
+
+// TestTCritical checks Hill's approximation against standard t-table
+// values (two-sided).
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		confidence float64
+		df         int
+		want       float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 2, 4.303},
+		{0.95, 4, 2.776},
+		{0.95, 9, 2.262},
+		{0.95, 29, 2.045},
+		{0.95, 100, 1.984},
+		{0.99, 4, 4.604},
+		{0.99, 9, 3.250},
+		{0.90, 9, 1.833},
+		{0.90, 30, 1.697},
+	}
+	for _, c := range cases {
+		got := TCritical(c.confidence, c.df)
+		if math.Abs(got-c.want)/c.want > 2e-3 {
+			t.Errorf("TCritical(%g, %d) = %.4f, want %.3f", c.confidence, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCriticalPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { TCritical(0, 5) },
+		func() { TCritical(1, 5) },
+		func() { TCritical(0.95, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid TCritical input")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestConfidenceHalfWidth(t *testing.T) {
+	if got := ConfidenceHalfWidth(0.95, 0, 10); got != 0 {
+		t.Errorf("zero stddev: got %g, want 0", got)
+	}
+	if got := ConfidenceHalfWidth(0.95, 3, 1); got != 0 {
+		t.Errorf("single sample: got %g, want 0", got)
+	}
+	// n=10, stddev=2, 95%: t_{0.95,9} * 2 / sqrt(10) = 2.262 * 0.6325 = 1.4306
+	got := ConfidenceHalfWidth(0.95, 2, 10)
+	if math.Abs(got-1.4306) > 0.01 {
+		t.Errorf("ConfidenceHalfWidth(0.95, 2, 10) = %.4f, want about 1.4306", got)
+	}
+}

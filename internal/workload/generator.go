@@ -55,6 +55,7 @@ type Generator struct {
 
 	nextPkt   uint64
 	completed int64
+	sunk      int64
 	stopped   bool
 	// inTick is true while the generator's clock tick runs; it stamps the
 	// Clocked flag on recorded trace events.
@@ -162,6 +163,16 @@ func (g *Generator) Model() Model { return g.model }
 
 // Completed returns the number of finished transactions.
 func (g *Generator) Completed() int64 { return g.completed }
+
+// ArenaLive returns the number of packets currently checked out of the
+// generator's arena — everything injected or queued but not yet released
+// by a processed delivery. The invariant oracle cross-checks it against
+// the router-level conservation counters to catch packet leaks.
+func (g *Generator) ArenaLive() int { return g.arena.Live() }
+
+// Sunk returns the number of deliveries whose sink events have been fully
+// processed (statistics recorded, model notified, packet released).
+func (g *Generator) Sunk() int64 { return g.sunk }
 
 // Outstanding returns a node's in-flight transaction count.
 func (g *Generator) Outstanding(node topology.Node) int { return g.outstanding[node] }
@@ -273,4 +284,5 @@ func (g *Generator) onDeliver(p *packet.Packet, at sim.Ticks) {
 	if g.arena.Owns(p) {
 		g.arena.Release(p)
 	}
+	g.sunk++
 }
