@@ -37,7 +37,7 @@ cover:
 cover-check: cover
 	$(GO) run ./cmd/covercheck -profile cover.out -floors COVERAGE.json
 
-# bench runs the benchmark suite and writes BENCH_4.json into bench-out/.
+# bench runs the benchmark suite and writes BENCH_6.json into bench-out/.
 bench:
 	$(GO) run ./cmd/sweep -bench -out bench-out
 
@@ -45,7 +45,7 @@ bench:
 # fails on >15% calibration-normalized regression in ns/simulated-cycle
 # (or allocations). This is the CI perf gate.
 bench-check:
-	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_4.json
+	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_6.json
 
 fmt:
 	gofmt -l .

@@ -11,6 +11,11 @@
 //     workers and a streaming event channel (NewRunner, Runner.Run,
 //     Runner.Stream); a Result is the stable machine-readable outcome
 //     with a JSONL encoder (Result.EncodeJSONL, DecodeResultJSONL);
+//   - the sweep service: a Coordinator decomposes sweeps into shard-Specs
+//     (PlanShards, MergeShardResults), caches completed points in a
+//     content-addressed store (SpecHash, OpenResultCache), and resumes
+//     interrupted runs byte-identically (NewCoordinator, WithCache);
+//     cmd/sweepd serves the same contract over stdin/HTTP;
 //   - the five arbitration algorithms the paper compares — SPAA (the
 //     21364's Simple Pipelined Arbitration Algorithm), PIM and PIM1, the
 //     wrapped Wave-Front Arbiter, and MCM — plus the OPF strawman and the
@@ -36,6 +41,7 @@ import (
 	"context"
 	"io"
 
+	"alpha21364/internal/cache"
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
 	"alpha21364/internal/packet"
@@ -319,6 +325,69 @@ var (
 	WithWorkers   = experiment.WithWorkers
 	WithEventSink = experiment.WithEventSink
 )
+
+// Coordinator is the sweep service: it decomposes a Spec's grid into
+// shard-Specs, serves cells already present in a content-addressed
+// result cache without simulating, fans the missing shards across a
+// worker pool, persists completed points as it goes (so a killed run
+// resumes by simulating only what is missing), and merges everything
+// into the exact byte stream the monolithic Runner produces.
+type Coordinator = experiment.Coordinator
+
+// CoordinatorOption configures a Coordinator; see WithCache, WithShards,
+// WithCoordinatorWorkers, and WithCoordinatorEventSink.
+type CoordinatorOption = experiment.CoordinatorOption
+
+// CoordinatorStats summarizes one Coordinator.Run: grid size, cells
+// served from cache, cells simulated, and shards planned.
+type CoordinatorStats = experiment.CoordinatorStats
+
+// NewCoordinator returns a Coordinator with one worker per CPU, no
+// cache, and one shard per point.
+func NewCoordinator(opts ...CoordinatorOption) *Coordinator {
+	return experiment.NewCoordinator(opts...)
+}
+
+var (
+	WithCache                = experiment.WithCache
+	WithShards               = experiment.WithShards
+	WithCoordinatorWorkers   = experiment.WithCoordinatorWorkers
+	WithCoordinatorEventSink = experiment.WithCoordinatorEventSink
+)
+
+// ResultCache is a filesystem store of completed result points keyed by
+// SpecHash, with atomic per-point writes; open one with OpenResultCache
+// and attach it to a Coordinator with WithCache.
+type ResultCache = cache.Store
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return cache.Open(dir) }
+
+// SpecHash returns the content address of a Spec's semantic fields: the
+// lowercase-hex sha256 of its canonical JSON. Execution knobs (Name,
+// Check, Workload.RecordTo) do not participate, so two specs that would
+// simulate the same numbers share one cache key.
+func SpecHash(s Spec) (string, error) { return experiment.SpecHash(s) }
+
+// Shard is one independently runnable slice of a sweep: a self-contained
+// Spec plus the original-grid cells its result points map back to.
+type Shard = experiment.Shard
+
+// ShardCell addresses one (series, point) cell of a Spec's grid.
+type ShardCell = experiment.ShardCell
+
+// PlanShards decomposes a Spec's grid into at most n shard-Specs (0
+// means one per point), deterministically and covering every cell
+// exactly once; MergeShardResults reassembles the shards' Results into
+// the Result the monolithic Runner would have produced.
+func PlanShards(spec Spec, n int) ([]Shard, error) { return experiment.PlanShards(spec, n) }
+
+// MergeShardResults merges shard Results back into grid order; results
+// must be index-aligned with shards (nil entries leave their cells
+// missing and mark the merged Result partial).
+func MergeShardResults(spec Spec, shards []Shard, results []*Result) (*Result, error) {
+	return experiment.MergeShardResults(spec, shards, results)
+}
 
 // Result is the stable machine-readable outcome of running a Spec, with
 // a JSONL encoder (EncodeJSONL) and document form (WriteFile).

@@ -17,8 +17,16 @@
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
 //	      [-record FILE | -replay FILE]
-//	sweep -bench [-out DIR] [-bench-baseline BENCH_4.json]
+//	sweep -bench [-out DIR] [-bench-baseline BENCH_6.json]
 //	sweep -list
+//
+// Any sweep mode (figure, matrix, run, spec) accepts -cache-dir DIR to
+// serve previously completed points from a content-addressed result
+// cache and persist new ones as they finish, -resume to insist that
+// prior progress exists (an interrupted run picks up exactly where it
+// was killed), and -shards N to decompose each sweep into about N
+// independently runnable shard specs. Results are byte-identical to an
+// uncached, unsharded run.
 //
 // -cpuprofile and -memprofile write pprof profiles for any mode.
 // Contradictory flag combinations (for example -record with -matrix, or
@@ -41,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"alpha21364/internal/cache"
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
 	"alpha21364/internal/prof"
@@ -65,6 +74,9 @@ type app struct {
 	log  *log.Logger
 	json bool
 	dir  string // -out directory, "" for none
+	// exec runs one Spec — through a plain Runner, or through the
+	// sharded/cached Coordinator when -cache-dir or -shards is given.
+	exec func(experiment.Spec) (*experiment.Result, error)
 }
 
 // emitResult prints one Result to stdout — as JSONL with -json, as a
@@ -121,7 +133,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	specFile := fs.String("spec", "", "load a Spec (or Spec array) JSON file and run it through the Runner")
 	emitSpec := fs.Bool("emit-spec", false, "print the selected figure/matrix/run as Spec JSON instead of running")
-	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_4.json")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory: completed points are served from it and new ones persisted to it")
+	resume := fs.Bool("resume", false, "with -cache-dir, require previously completed points for this invocation and simulate only the missing ones")
+	shards := fs.Int("shards", 0, "decompose each sweep into about this many shard specs (0 = one shard per point)")
+	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_6.json")
 	benchBaseline := fs.String("bench-baseline", "", "with -bench, compare against this BENCH_*.json and fail on >15% regression")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -151,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		Check: *checkFlag, Replications: *reps, Confidence: *confidence,
 	}
+	var eventSink func(experiment.Event)
 	var runnerOpts []experiment.RunnerOption
 	runnerOpts = append(runnerOpts, experiment.WithWorkers(*workers))
 	if *progress {
@@ -158,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		o.Progress = func(done, total int, label string) {
 			logger.Printf("[%3d/%3d %6s] %s", done, total, time.Since(start).Round(time.Second), label)
 		}
-		runnerOpts = append(runnerOpts, experiment.WithEventSink(func(e experiment.Event) {
+		eventSink = func(e experiment.Event) {
 			elapsed := time.Since(start).Round(time.Second)
 			switch e.Type {
 			case experiment.EventRunStart:
@@ -168,7 +184,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 			case experiment.EventSeriesDone:
 				logger.Printf("[%3d/%3d %6s] series done: %s", e.Done, e.Total, elapsed, e.Series)
 			}
-		}))
+		}
+		runnerOpts = append(runnerOpts, experiment.WithEventSink(eventSink))
+	}
+
+	var store *cache.Store
+	if *cacheDir != "" {
+		store, err = cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+	if store == nil && *shards == 0 {
+		a.exec = func(sp experiment.Spec) (*experiment.Result, error) {
+			return experiment.NewRunner(runnerOpts...).Run(context.Background(), sp)
+		}
+	} else {
+		a.exec = func(sp experiment.Spec) (*experiment.Result, error) {
+			copts := []experiment.CoordinatorOption{
+				experiment.WithCoordinatorWorkers(*workers),
+				experiment.WithShards(*shards),
+			}
+			if store != nil {
+				copts = append(copts, experiment.WithCache(store))
+			}
+			if eventSink != nil {
+				copts = append(copts, experiment.WithCoordinatorEventSink(eventSink))
+			}
+			co := experiment.NewCoordinator(copts...)
+			res, err := co.Run(context.Background(), sp)
+			if err == nil {
+				st := co.Stats()
+				logger.Printf("cache: %d/%d points cached, %d simulated, %d shard(s)",
+					st.CachedPoints, st.TotalPoints, st.SimulatedPoints, st.Shards)
+			}
+			return res, err
+		}
+	}
+	if *resume {
+		if err := checkResumable(store, logger, func() ([]experiment.Spec, error) {
+			if *specFile != "" {
+				return experiment.ReadSpecFile(*specFile)
+			}
+			return specsFromFlags(o, *figure, *matrix, *runOne,
+				*algos, *patterns, *processes, *rates, *model, *size, *cycles,
+				*algo, *pattern, *process, *rate, "", "")
+		}); err != nil {
+			return err
+		}
 	}
 
 	switch {
@@ -193,7 +256,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return a.runSpecs(runnerOpts, specs, *plot)
+		return a.runSpecs(specs, *plot)
 	case *bench:
 		return a.runBench(*benchBaseline)
 	case *matrix:
@@ -202,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		start := time.Now()
-		res, err := runSpec(runnerOpts, sp)
+		res, err := a.exec(sp)
 		if err != nil {
 			return err
 		}
@@ -221,7 +284,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		start := time.Now()
-		res, err := runSpec(runnerOpts, sp)
+		res, err := a.exec(sp)
 		if err != nil {
 			return err
 		}
@@ -265,7 +328,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := a.runFigureSpecs(runnerOpts, name, specs, *plot); err != nil {
+		if err := a.runFigureSpecs(name, specs, *plot); err != nil {
 			return err
 		}
 	}
@@ -273,74 +336,105 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// rejectContradictions fails fast on flag combinations where one flag
-// would silently override or ignore another.
-func rejectContradictions(set map[string]bool) error {
-	conflict := func(a, b, why string) error {
-		if set[a] && set[b] {
-			return fmt.Errorf("-%s and -%s are contradictory: %s", a, b, why)
-		}
-		return nil
-	}
-	var errs []error
+// contradiction is one pair of flags where setting both would silently
+// override or ignore one of them; rejectContradictions fails fast instead.
+type contradiction struct {
+	a, b, why string
+}
+
+// requirement is a flag that is meaningless without another flag.
+type requirement struct {
+	flag, needs, why string
+}
+
+// contradictions is the full rule table, built once; main_test.go
+// enumerates it and proves every rule actually rejects its pair.
+var contradictions = buildContradictions()
+
+// requirements lists the dependent flags; enumerated by the same test.
+var requirements = []requirement{
+	{"bench-baseline", "bench", "the baseline comparison is part of bench mode"},
+	{"resume", "cache-dir", "resuming reads completed points from the cache"},
+}
+
+func buildContradictions() []contradiction {
+	var rules []contradiction
+	add := func(a, b, why string) { rules = append(rules, contradiction{a, b, why}) }
 	// -spec fully describes the work; every selection flag contradicts it.
+	// (The execution flags -workers/-progress/-json/-out and the cache
+	// flags -cache-dir/-resume/-shards deliberately remain compatible:
+	// they change how a spec runs, never what it means.)
 	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
 		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay",
 		"check", "reps", "confidence"} {
-		errs = append(errs, conflict("spec", f, "a spec file fixes the whole scenario; edit the file instead"))
+		add("spec", f, "a spec file fixes the whole scenario; edit the file instead")
 	}
-	errs = append(errs,
-		conflict("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly"),
-		conflict("emit-spec", "verify", "claim verification has no single spec form"),
-		conflict("emit-spec", "bench", "the bench suite is fixed; run it directly"),
-		conflict("emit-spec", "json", "-emit-spec already writes Spec JSON to stdout"),
-		conflict("record", "replay", "a run either records or replays, not both"),
-		// Mode selectors are mutually exclusive.
-		conflict("matrix", "run", "pick one mode"),
-		conflict("matrix", "figure", "pick one mode"),
-		conflict("matrix", "verify", "pick one mode"),
-		conflict("run", "figure", "pick one mode"),
-		conflict("run", "verify", "pick one mode"),
-		conflict("figure", "verify", "claim verification always reruns every figure"),
-		conflict("bench", "figure", "the bench suite is fixed"),
-		conflict("bench", "matrix", "the bench suite is fixed"),
-		conflict("bench", "run", "the bench suite is fixed"),
-		conflict("bench", "verify", "the bench suite is fixed"),
-		conflict("bench", "json", "the bench report is already machine-readable (BENCH_4.json)"),
-		conflict("bench", "workers", "the bench suite measures one simulation at a time (serial by design)"),
-		conflict("bench", "progress", "bench entries are logged to stderr as they finish"),
-		conflict("verify", "json", "claim verification emits verdict tables, not Results"),
-	)
+	add("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly")
+	add("emit-spec", "verify", "claim verification has no single spec form")
+	add("emit-spec", "bench", "the bench suite is fixed; run it directly")
+	add("emit-spec", "json", "-emit-spec already writes Spec JSON to stdout")
+	add("record", "replay", "a run either records or replays, not both")
+	// Mode selectors are mutually exclusive.
+	add("matrix", "run", "pick one mode")
+	add("matrix", "figure", "pick one mode")
+	add("matrix", "verify", "pick one mode")
+	add("run", "figure", "pick one mode")
+	add("run", "verify", "pick one mode")
+	add("figure", "verify", "claim verification always reruns every figure")
+	add("bench", "figure", "the bench suite is fixed")
+	add("bench", "matrix", "the bench suite is fixed")
+	add("bench", "run", "the bench suite is fixed")
+	add("bench", "verify", "the bench suite is fixed")
+	add("bench", "json", "the bench report is already machine-readable (BENCH_*.json)")
+	add("bench", "workers", "the bench suite measures one simulation at a time (serial by design)")
+	add("bench", "progress", "bench entries are logged to stderr as they finish")
+	add("verify", "json", "claim verification emits verdict tables, not Results")
 	// Replay fixes the injection stream; generative knobs contradict it.
 	for _, f := range []string{"pattern", "rate", "process", "model"} {
-		errs = append(errs, conflict("replay", f, "a replayed trace fixes the injection stream"))
+		add("replay", f, "a replayed trace fixes the injection stream")
 	}
 	// Trace I/O belongs to single runs.
 	for _, f := range []string{"record", "replay"} {
-		errs = append(errs, conflict("matrix", f, "trace record/replay applies to single runs; use -run"))
-		errs = append(errs, conflict("figure", f, "trace record/replay applies to single runs; use -run"))
+		add("matrix", f, "trace record/replay applies to single runs; use -run")
+		add("figure", f, "trace record/replay applies to single runs; use -run")
 	}
 	// Single-run vs matrix axis flags.
 	for _, pair := range [][2]string{
 		{"run", "algos"}, {"run", "patterns"}, {"run", "processes"}, {"run", "rates"},
 		{"matrix", "algo"}, {"matrix", "pattern"}, {"matrix", "process"}, {"matrix", "rate"},
 	} {
-		errs = append(errs, conflict(pair[0], pair[1], "that axis flag belongs to the other mode"))
+		add(pair[0], pair[1], "that axis flag belongs to the other mode")
 	}
 	// The bench suite measures the unchecked, unreplicated hot path.
-	errs = append(errs,
-		conflict("bench", "check", "the bench suite measures the unchecked hot path; see DESIGN.md for the enabled cost model"),
-		conflict("bench", "reps", "the bench suite is fixed"),
-		// Recording replays every replication into the same trace file.
-		conflict("record", "reps", "every replication would rewrite the trace file"),
-	)
-	// The baseline comparison is part of bench mode.
-	if set["bench-baseline"] && !set["bench"] {
-		return fmt.Errorf("-bench-baseline requires -bench")
+	add("bench", "check", "the bench suite measures the unchecked hot path; see DESIGN.md for the enabled cost model")
+	add("bench", "reps", "the bench suite is fixed")
+	// Recording replays every replication into the same trace file.
+	add("record", "reps", "every replication would rewrite the trace file")
+	// The cache serves sweep results; modes that measure or emit
+	// something other than sweep Results cannot use it.
+	for _, f := range []string{"bench", "verify", "emit-spec", "list"} {
+		add("cache-dir", f, "the result cache applies to sweep execution only")
+		add("shards", f, "shard decomposition applies to sweep execution only")
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	// Record/replay specs bypass the cache: a file path does not
+	// content-address the trace behind it.
+	for _, f := range []string{"record", "replay"} {
+		add("cache-dir", f, "trace record/replay bypasses the result cache; run without -cache-dir")
+	}
+	return rules
+}
+
+// rejectContradictions fails fast on flag combinations where one flag
+// would silently override or ignore another, walking the rule tables.
+func rejectContradictions(set map[string]bool) error {
+	for _, c := range contradictions {
+		if set[c.a] && set[c.b] {
+			return fmt.Errorf("-%s and -%s are contradictory: %s", c.a, c.b, c.why)
+		}
+	}
+	for _, r := range requirements {
+		if set[r.flag] && !set[r.needs] {
+			return fmt.Errorf("-%s requires -%s: %s", r.flag, r.needs, r.why)
 		}
 	}
 	return nil
@@ -378,16 +472,40 @@ func specsFromFlags(o experiment.Options, figure string, matrix, runOne bool,
 	}
 }
 
-// runSpec executes one spec.
-func runSpec(opts []experiment.RunnerOption, sp experiment.Spec) (*experiment.Result, error) {
-	return experiment.NewRunner(opts...).Run(context.Background(), sp)
+// checkResumable enforces -resume's contract before any simulation: the
+// cache must already hold at least one completed point for the specs
+// this invocation is about to run. Without -resume a populated cache is
+// still served — -resume only adds the "there must be prior progress"
+// assertion, so a typo'd flag set cannot silently restart from scratch.
+func checkResumable(store *cache.Store, logger *log.Logger, load func() ([]experiment.Spec, error)) error {
+	specs, err := load()
+	if err != nil {
+		return err
+	}
+	found := 0
+	for _, sp := range specs {
+		key, err := experiment.SpecHash(sp)
+		if err != nil {
+			return err
+		}
+		cells, err := store.Cells(key)
+		if err != nil {
+			return err
+		}
+		found += len(cells)
+	}
+	if found == 0 {
+		return fmt.Errorf("-resume: the cache holds no completed points for this invocation; drop -resume to start fresh")
+	}
+	logger.Printf("resume: %d completed point(s) already cached", found)
+	return nil
 }
 
 // runSpecs executes loaded spec files, printing each result.
-func (a *app) runSpecs(opts []experiment.RunnerOption, specs []experiment.Spec, plot bool) error {
+func (a *app) runSpecs(specs []experiment.Spec, plot bool) error {
 	start := time.Now()
 	for i, sp := range specs {
-		res, err := runSpec(opts, sp)
+		res, err := a.exec(sp)
 		if err != nil {
 			return err
 		}
@@ -404,9 +522,9 @@ func (a *app) runSpecs(opts []experiment.RunnerOption, specs []experiment.Spec, 
 
 // runFigureSpecs executes one figure's canned specs with the historical
 // per-figure CSV naming: figure8.csv, figure10-<panel>.csv, figure11a.csv.
-func (a *app) runFigureSpecs(opts []experiment.RunnerOption, figure string, specs []experiment.Spec, plot bool) error {
+func (a *app) runFigureSpecs(figure string, specs []experiment.Spec, plot bool) error {
 	for i, sp := range specs {
-		res, err := runSpec(opts, sp)
+		res, err := a.exec(sp)
 		if err != nil {
 			return err
 		}
@@ -494,8 +612,9 @@ func modelName(m string) string {
 const benchRegressionTolerance = 0.15
 
 // runBench executes the benchmark suite (experiment.RunBench: Spec-driven
-// workloads through the ordinary Runner), writes BENCH_4.json, and, when
-// a baseline is given, fails on >15% calibration-normalized regression.
+// workloads through the ordinary Runner, plus the coordinated entry
+// through the sharded Coordinator), writes BENCH_6.json, and, when a
+// baseline is given, fails on >15% calibration-normalized regression.
 func (a *app) runBench(baseline string) error {
 	dir := a.dir
 	if dir == "" {

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -89,6 +92,10 @@ func TestContradictoryFlagsRejected(t *testing.T) {
 		{"-bench-baseline", "x.json"},
 		{"-emit-spec", "-json"},
 		{"-record", "a", "-replay", "b"},
+		{"-cache-dir", "d", "-bench"},
+		{"-cache-dir", "d", "-record", "a", "-run"},
+		{"-shards", "4", "-verify"},
+		{"-resume"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
@@ -98,8 +105,163 @@ func TestContradictoryFlagsRejected(t *testing.T) {
 	}
 }
 
+// ruleSamples supplies a parseable value for every flag the rule tables
+// mention, so the enumeration tests can set any flag by name.
+var ruleSamples = map[string]string{
+	"spec": "specs.json", "figure": "8", "matrix": "true", "run": "true",
+	"verify": "true", "bench": "true", "quick": "true", "seed": "2",
+	"cycles": "100", "size": "4x4", "algo": "PIM1", "algos": "PIM1",
+	"pattern": "random", "patterns": "random", "process": "bernoulli",
+	"processes": "bernoulli", "model": "coherence", "rate": "0.02",
+	"rates": "0.02", "record": "t.trace", "replay": "t.trace",
+	"check": "true", "reps": "2", "confidence": "0.9", "emit-spec": "true",
+	"json": "true", "workers": "2", "progress": "true", "list": "true",
+	"cache-dir": "cachedir", "shards": "4", "bench-baseline": "BENCH.json",
+	"resume": "true",
+}
+
+func sampleArg(t *testing.T, name string) string {
+	t.Helper()
+	v, ok := ruleSamples[name]
+	if !ok {
+		t.Fatalf("rule table mentions flag %q with no sample value; add it to ruleSamples", name)
+	}
+	return "-" + name + "=" + v
+}
+
+// TestEveryContradictionRuleRejects enumerates the whole contradiction
+// table: each pair, set together (and nothing else), must be rejected
+// with an error naming both flags — proving every rule is live, every
+// flag it names exists, and no rule is shadowed by another.
+func TestEveryContradictionRuleRejects(t *testing.T) {
+	for _, c := range contradictions {
+		args := []string{sampleArg(t, c.a), sampleArg(t, c.b)}
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("%v: contradiction (%s, %s) not enforced", args, c.a, c.b)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "contradictory") ||
+			!strings.Contains(msg, "-"+c.a) || !strings.Contains(msg, "-"+c.b) {
+			t.Errorf("%v: error %q does not name the (%s, %s) contradiction", args, msg, c.a, c.b)
+		}
+	}
+}
+
+// TestEveryRequirementRuleRejects enumerates the requirement table: each
+// dependent flag, set alone, must be rejected naming its prerequisite.
+func TestEveryRequirementRuleRejects(t *testing.T) {
+	for _, r := range requirements {
+		args := []string{sampleArg(t, r.flag)}
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("%v: requirement %s -> %s not enforced", args, r.flag, r.needs)
+			continue
+		}
+		if !strings.Contains(err.Error(), "requires -"+r.needs) {
+			t.Errorf("%v: error %q does not name the missing -%s", args, err.Error(), r.needs)
+		}
+	}
+}
+
+// TestRuleTablesWellFormed rejects degenerate rules: self-pairs,
+// duplicate pairs, and empty rationales.
+func TestRuleTablesWellFormed(t *testing.T) {
+	seen := map[[2]string]bool{}
+	for _, c := range contradictions {
+		if c.a == c.b {
+			t.Errorf("rule pairs %q with itself", c.a)
+		}
+		if c.why == "" {
+			t.Errorf("rule (%s, %s) has no rationale", c.a, c.b)
+		}
+		k := [2]string{c.a, c.b}
+		if c.a > c.b {
+			k = [2]string{c.b, c.a}
+		}
+		if seen[k] {
+			t.Errorf("rule (%s, %s) appears twice", c.a, c.b)
+		}
+		seen[k] = true
+	}
+	for _, r := range requirements {
+		if r.flag == r.needs || r.why == "" {
+			t.Errorf("malformed requirement %+v", r)
+		}
+	}
+}
+
+// stripElapsed removes the one nondeterministic field from a Result
+// JSONL stream so runs can be compared byte-for-byte.
+func stripElapsed(s string) string {
+	return regexp.MustCompile(`,"elapsed_ns":\d+`).ReplaceAllString(s, "")
+}
+
+// TestCachedMatrixSecondRunSimulatesNothing is the CLI face of the cache
+// contract: the same -matrix invocation twice against one -cache-dir
+// must simulate zero points the second time and emit identical bytes.
+func TestCachedMatrixSecondRunSimulatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
+		"-rates", "0.02,0.04", "-size", "4x4", "-cycles", "300",
+		"-json", "-cache-dir", filepath.Join(dir, "cache"),
+	}
+	var out1, err1, out2, err2 bytes.Buffer
+	if err := run(args, &out1, &err1); err != nil {
+		t.Fatalf("cold run: %v\nstderr:\n%s", err, err1.String())
+	}
+	if !strings.Contains(err1.String(), "0/2 points cached, 2 simulated") {
+		t.Fatalf("cold run stats missing or wrong:\n%s", err1.String())
+	}
+	if err := run(args, &out2, &err2); err != nil {
+		t.Fatalf("warm run: %v\nstderr:\n%s", err, err2.String())
+	}
+	if !strings.Contains(err2.String(), "2/2 points cached, 0 simulated") {
+		t.Fatalf("warm run still simulated:\n%s", err2.String())
+	}
+	if stripElapsed(out1.String()) != stripElapsed(out2.String()) {
+		t.Fatalf("cached run output diverged:\n--- cold ---\n%s\n--- warm ---\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestResumeFlagContract checks both sides of -resume: against an empty
+// cache it refuses to start, and against a populated one it proceeds as
+// a pure cache read.
+func TestResumeFlagContract(t *testing.T) {
+	cacheArg := filepath.Join(t.TempDir(), "cache")
+	base := []string{
+		"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
+		"-rates", "0.02", "-size", "4x4", "-cycles", "300", "-json", "-cache-dir", cacheArg,
+	}
+	var stdout, stderr bytes.Buffer
+	err := run(append([]string{"-resume"}, base...), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "no completed points") {
+		t.Fatalf("resume against an empty cache: err=%v, want a 'no completed points' refusal", err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(base, &stdout, &stderr); err != nil {
+		t.Fatalf("seed run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(append([]string{"-resume"}, base...), &stdout, &stderr); err != nil {
+		t.Fatalf("resume after seed run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resume: 1 completed point(s) already cached") {
+		t.Fatalf("resume preamble missing:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "0 simulated") {
+		t.Fatalf("resumed run re-simulated cached points:\n%s", stderr.String())
+	}
+}
+
 // TestBenchWritesReport runs the bench suite into a temp dir and
-// validates the BENCH_4.json schema, plus the baseline comparison paths.
+// validates the BENCH_*.json schema, plus the baseline comparison paths.
 func TestBenchWritesReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench suite is seconds-long; skipped in -short")
@@ -109,7 +271,7 @@ func TestBenchWritesReport(t *testing.T) {
 	if err := run([]string{"-bench", "-out", dir}, &stdout, &stderr); err != nil {
 		t.Fatalf("bench: %v\nstderr:\n%s", err, stderr.String())
 	}
-	rep, err := experiment.ReadBenchFile(dir + "/BENCH_4.json")
+	rep, err := experiment.ReadBenchFile(fmt.Sprintf("%s/BENCH_%d.json", dir, experiment.BenchVersion))
 	if err != nil {
 		t.Fatal(err)
 	}

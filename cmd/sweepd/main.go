@@ -1,0 +1,194 @@
+// Command sweepd is the sweep service daemon: the long-lived face of the
+// sharded, cached Coordinator. It accepts declarative simulation Specs —
+// one JSON document per request — runs each through the Coordinator, and
+// streams the Result back as JSONL, the same byte stream `sweep -json`
+// emits. With -cache-dir, completed points persist across requests and
+// daemon restarts, so repeated or overlapping Specs only ever simulate
+// their missing cells.
+//
+// Usage:
+//
+//	sweep -emit-spec -figure 8 | sweepd [-cache-dir DIR] [-shards N] [-workers N]
+//	sweepd -http :8080 [-cache-dir DIR] ...
+//
+// Without -http, sweepd reads a stream of Spec JSON documents from stdin
+// (a Spec array is accepted as one document and run in order) and writes
+// each Result's JSONL to stdout; a failed Spec produces a single
+// {"type":"error",...} line instead, and the stream continues. With
+// -http, POST /run takes one Spec document and streams the Result JSONL
+// response; GET /healthz reports liveness. Diagnostics, including the
+// per-run cache statistics, go to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"alpha21364/internal/cache"
+	"alpha21364/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "sweepd: ", 0)
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	httpAddr := fs.String("http", "", "listen address for the HTTP API (empty = read Spec JSON from stdin)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory shared by every request")
+	shards := fs.Int("shards", 0, "decompose each sweep into about this many shard specs (0 = one shard per point)")
+	workers := fs.Int("workers", 0, "concurrent shard executions per request (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	svc := &service{shards: *shards, workers: *workers, log: logger}
+	if *cacheDir != "" {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		svc.store = store
+	}
+	if *httpAddr != "" {
+		logger.Printf("listening on %s", *httpAddr)
+		return http.ListenAndServe(*httpAddr, svc.handler())
+	}
+	return svc.serveStdin(stdin, stdout)
+}
+
+// service holds the daemon's shared execution settings. Each request
+// gets its own Coordinator (they are cheap); the cache store is the
+// shared state that makes the daemon more than a loop over `sweep`.
+type service struct {
+	store   *cache.Store
+	shards  int
+	workers int
+	log     *log.Logger
+}
+
+func (s *service) coordinator() *experiment.Coordinator {
+	opts := []experiment.CoordinatorOption{
+		experiment.WithCoordinatorWorkers(s.workers),
+		experiment.WithShards(s.shards),
+	}
+	if s.store != nil {
+		opts = append(opts, experiment.WithCache(s.store))
+	}
+	return experiment.NewCoordinator(opts...)
+}
+
+// runSpec executes one parsed Spec and streams its Result JSONL to w.
+func (s *service) runSpec(ctx context.Context, sp experiment.Spec, w io.Writer) error {
+	co := s.coordinator()
+	res, err := co.Run(ctx, sp)
+	if err != nil {
+		return err
+	}
+	st := co.Stats()
+	s.log.Printf("ran spec: %d/%d points cached, %d simulated, %d shard(s)",
+		st.CachedPoints, st.TotalPoints, st.SimulatedPoints, st.Shards)
+	return res.EncodeJSONL(w)
+}
+
+// errLine is the inline failure record of the stdin stream: consumers of
+// the multiplexed output distinguish it from Result records by its type.
+type errLine struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+func writeErrLine(w io.Writer, err error) {
+	data, merr := json.Marshal(errLine{Type: "error", Error: err.Error()})
+	if merr != nil {
+		return
+	}
+	fmt.Fprintf(w, "%s\n", data)
+}
+
+// serveStdin runs Specs from a JSON document stream until EOF. Spec
+// failures are reported in-band and do not stop the stream; only an
+// unreadable stream itself is fatal.
+func (s *service) serveStdin(stdin io.Reader, stdout io.Writer) error {
+	dec := json.NewDecoder(stdin)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("read spec stream: %w", err)
+		}
+		specs, err := experiment.ParseSpecs(raw)
+		if err != nil {
+			writeErrLine(stdout, err)
+			continue
+		}
+		for _, sp := range specs {
+			if err := s.runSpec(context.Background(), sp, stdout); err != nil {
+				writeErrLine(stdout, err)
+			}
+		}
+	}
+}
+
+// flushWriter flushes the HTTP response after every write, so the JSONL
+// stream reaches the client as it is produced.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// maxSpecBytes bounds a /run request body; Specs are small documents.
+const maxSpecBytes = 1 << 20
+
+func (s *service) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxSpecBytes {
+			http.Error(w, "spec document too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		sp, err := experiment.ParseSpec(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := s.runSpec(r.Context(), sp, flushWriter{w}); err != nil {
+			// Headers may already be out; report in-band like stdin mode.
+			writeErrLine(flushWriter{w}, err)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const key = "0123456789abcdef0123456789abcdef"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cell{Series: 3, Point: 7}
+	if _, ok, err := s.Get(key, c); err != nil || ok {
+		t.Fatalf("empty store Get = ok %v, err %v; want a clean miss", ok, err)
+	}
+	want := []byte(`{"rate":0.02}`)
+	if err := s.Put(key, c, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key, c)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok %v, err %v", ok, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	// Overwrite replaces the value whole.
+	want2 := []byte(`{"rate":0.04}`)
+	if err := s.Put(key, c, want2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := s.Get(key, c); !bytes.Equal(got, want2) {
+		t.Fatalf("Get after overwrite = %q, want %q", got, want2)
+	}
+}
+
+func TestCellsSortedAndFiltered(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells, err := s.Cells(key); err != nil || len(cells) != 0 {
+		t.Fatalf("Cells on absent key = %v, %v; want empty, nil", cells, err)
+	}
+	put := []Cell{{1, 2}, {0, 5}, {1, 0}, {0, 0}}
+	for _, c := range put {
+		if err := s.Put(key, c, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Foreign files in the key directory are ignored, including the spec
+	// metadata and any leftover temp file.
+	if err := s.PutSpec(key, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), key, ".tmp-leftover"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Cells(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Cell{{0, 0}, {0, 5}, {1, 0}, {1, 2}}
+	if len(cells) != len(want) {
+		t.Fatalf("Cells = %v, want %v", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("Cells[%d] = %v, want %v", i, cells[i], want[i])
+		}
+	}
+}
+
+func TestSpecMetadata(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Spec(key); err != nil || ok {
+		t.Fatalf("Spec on absent key = ok %v, err %v", ok, err)
+	}
+	if err := s.PutSpec(key, []byte(`{"version":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.Spec(key)
+	if err != nil || !ok || string(data) != `{"version":1}` {
+		t.Fatalf("Spec = %q, ok %v, err %v", data, ok, err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", "../../../etc/passwd", "0123456789ABCDEF", "0123456789abcdeg"} {
+		if err := s.Put(bad, Cell{}, []byte("x")); err == nil {
+			t.Errorf("Put with key %q succeeded; want rejection", bad)
+		}
+		if _, _, err := s.Get(bad, Cell{}); err == nil {
+			t.Errorf("Get with key %q succeeded; want rejection", bad)
+		}
+		if _, err := s.Cells(bad); err == nil {
+			t.Errorf("Cells with key %q succeeded; want rejection", bad)
+		}
+	}
+	if err := s.Put(key, Cell{Series: -1}, []byte("x")); err == nil {
+		t.Error("Put with a negative cell succeeded; want rejection")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded; want error")
+	}
+}
+
+// TestAtomicWriteLeavesNoTemp checks the rename discipline: after a Put,
+// the key directory holds the cell file and nothing else.
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, Cell{1, 1}, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Dir(), key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("key dir has %d entries, want 1", len(entries))
+	}
+}
+
+// TestConcurrentPutSameCell hammers one cell from many goroutines; the
+// atomic rename must leave one complete value, never a torn mix.
+func TestConcurrentPutSameCell(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cell{0, 0}
+	values := [][]byte{
+		bytes.Repeat([]byte("a"), 4096),
+		bytes.Repeat([]byte("b"), 4096),
+		bytes.Repeat([]byte("c"), 4096),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		v := values[i%len(values)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(key, c, v); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok, err := s.Get(key, c)
+	if err != nil || !ok {
+		t.Fatalf("Get = ok %v, err %v", ok, err)
+	}
+	whole := false
+	for _, v := range values {
+		if bytes.Equal(got, v) {
+			whole = true
+		}
+	}
+	if !whole {
+		t.Fatalf("Get returned a torn value (len %d, first byte %q)", len(got), got[:1])
+	}
+}

@@ -26,13 +26,17 @@ import (
 )
 
 // BenchVersion is the BENCH_*.json schema version.
-const BenchVersion = 4
+const BenchVersion = 6
 
 // BenchEntry is one benchmark workload: a Spec plus the simulated-cycle
 // accounting needed to normalize its cost.
 type BenchEntry struct {
 	Name string
 	Spec Spec
+	// Shards > 0 runs the entry through the sharded Coordinator instead
+	// of the monolithic Runner, so the plan/merge overhead of the sweep
+	// service is part of the gated cost.
+	Shards int
 }
 
 // BenchSuite returns the fixed benchmark workloads:
@@ -42,7 +46,10 @@ type BenchEntry struct {
 //   - timing-8x8-saturated: the timing model deep in saturation (the
 //     regime the paper's Figures 10-11 comparisons depend on);
 //   - timing-4x4-matrix: a small arbiter x rate matrix, the shape of the
-//     sweep workloads.
+//     sweep workloads;
+//   - coordinated-4x4-matrix: the same matrix through the sharded
+//     Coordinator (no cache), so shard planning and merging stay within
+//     tolerance of the monolithic path.
 func BenchSuite() []BenchEntry {
 	return []BenchEntry{
 		{
@@ -77,6 +84,18 @@ func BenchSuite() []BenchEntry {
 				WithCycles(2000),
 				WithSeed(1),
 			),
+		},
+		{
+			Name: "coordinated-4x4-matrix",
+			Spec: NewSpec(
+				WithName("bench coordinated 4x4 matrix"),
+				WithTopology(4, 4),
+				WithArbiters("SPAA-rotary", "PIM1"),
+				WithRates(0.01, 0.03),
+				WithCycles(2000),
+				WithSeed(1),
+			),
+			Shards: 8,
 		},
 	}
 }
@@ -163,7 +182,15 @@ func RunBench(ctx context.Context) (*BenchReport, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		res, err := runner.Run(ctx, entry.Spec)
+		var res *Result
+		var err error
+		if entry.Shards > 0 {
+			res, err = NewCoordinator(
+				WithCoordinatorWorkers(1), WithShards(entry.Shards),
+			).Run(ctx, entry.Spec)
+		} else {
+			res, err = runner.Run(ctx, entry.Spec)
+		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {

@@ -1,0 +1,349 @@
+package experiment
+
+// coordinator_test.go enforces the three service-level acceptance gates:
+// coordinated (sharded + cached) execution is byte-identical to the
+// monolithic Runner — PR-4 golden fingerprints included and the full
+// canned figure matrix at reduced fidelity — a second cached run
+// simulates nothing, and a run killed mid-grid persists only whole
+// completed points and resumes by simulating only the missing ones.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alpha21364/internal/cache"
+)
+
+func testStore(t *testing.T) *cache.Store {
+	t.Helper()
+	store, err := cache.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// coordinatorFingerprint runs the spec through a fresh Coordinator and
+// fingerprints the result with the golden tests' hashing.
+func coordinatorFingerprint(t *testing.T, sp Spec, opts ...CoordinatorOption) string {
+	t.Helper()
+	res, err := NewCoordinator(opts...).Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("complete coordinator run marked Partial")
+	}
+	return resultFingerprint(t, res)
+}
+
+// TestCoordinatorMatchesGoldenFingerprints is the acceptance gate: the
+// coordinator — cache attached or not, coarse or fine shards, serial or
+// parallel — must reproduce the PR-4 golden fingerprints byte for byte.
+func TestCoordinatorMatchesGoldenFingerprints(t *testing.T) {
+	cases := []struct {
+		name string
+		opts func(t *testing.T) []CoordinatorOption
+	}{
+		{"default", func(t *testing.T) []CoordinatorOption { return nil }},
+		{"serial-coarse", func(t *testing.T) []CoordinatorOption {
+			return []CoordinatorOption{WithCoordinatorWorkers(1), WithShards(3)}
+		}},
+		{"cached", func(t *testing.T) []CoordinatorOption {
+			return []CoordinatorOption{WithCache(testStore(t)), WithShards(2)}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := coordinatorFingerprint(t, fingerprintTimingSpec(), tc.opts(t)...); got != goldenTimingFingerprint {
+				t.Errorf("timing fingerprint diverged:\n  got  %s\n  want %s", got, goldenTimingFingerprint)
+			}
+			if got := coordinatorFingerprint(t, fingerprintStandaloneSpec(), tc.opts(t)...); got != goldenStandaloneFingerprint {
+				t.Errorf("standalone fingerprint diverged:\n  got  %s\n  want %s", got, goldenStandaloneFingerprint)
+			}
+		})
+	}
+}
+
+// TestCoordinatorSecondRunIsPureCacheRead runs the same spec twice
+// against one store: the second run must simulate nothing and still
+// produce the identical byte stream.
+func TestCoordinatorSecondRunIsPureCacheRead(t *testing.T) {
+	store := testStore(t)
+	sp := fingerprintStandaloneSpec()
+
+	first := NewCoordinator(WithCache(store))
+	fres, err := first.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fstats := first.Stats()
+	if fstats.CachedPoints != 0 || fstats.SimulatedPoints != fstats.TotalPoints {
+		t.Fatalf("cold run: stats %+v, want all %d points simulated", fstats, fstats.TotalPoints)
+	}
+
+	second := NewCoordinator(WithCache(store))
+	sres, err := second.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sstats := second.Stats()
+	if sstats.SimulatedPoints != 0 {
+		t.Fatalf("warm run simulated %d points; a cached run must simulate none", sstats.SimulatedPoints)
+	}
+	if sstats.CachedPoints != sstats.TotalPoints {
+		t.Fatalf("warm run served %d/%d points from cache", sstats.CachedPoints, sstats.TotalPoints)
+	}
+	if sstats.Shards != 0 {
+		t.Fatalf("warm run planned %d shards for zero missing cells", sstats.Shards)
+	}
+	if a, b := resultFingerprint(t, fres), resultFingerprint(t, sres); a != b {
+		t.Fatalf("cached run diverged from simulated run:\n  cold %s\n  warm %s", a, b)
+	}
+
+	// A name-only variant must hit the same cache entries: the key is
+	// semantic, not textual.
+	renamed := sp
+	renamed.Name = "same physics, different title"
+	third := NewCoordinator(WithCache(store))
+	if _, err := third.Run(context.Background(), renamed); err != nil {
+		t.Fatal(err)
+	}
+	if st := third.Stats(); st.SimulatedPoints != 0 {
+		t.Fatalf("renamed spec missed the cache: %d points re-simulated", st.SimulatedPoints)
+	}
+}
+
+// TestCoordinatorRecordReplayBypassesCache checks that record/replay
+// specs never read or write the store: a path does not content-address
+// the trace behind it.
+func TestCoordinatorRecordReplayBypassesCache(t *testing.T) {
+	store := testStore(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	rec := NewSpec(
+		WithName("record run"),
+		WithTopology(4, 4),
+		WithArbiters("PIM1"),
+		WithPatterns("random"),
+		WithRates(0.02),
+		WithCycles(200),
+		WithSeed(4),
+		WithRecord(trace),
+	)
+	if _, err := NewCoordinator(WithCache(store)).Run(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("record spec wrote %d cache entries; record/replay must bypass the cache", len(entries))
+	}
+
+	replay := NewSpec(
+		WithName("replay run"),
+		WithTopology(4, 4),
+		WithArbiters("PIM1"),
+		WithReplay(trace),
+		WithCycles(200),
+		WithSeed(4),
+	)
+	co := NewCoordinator(WithCache(store))
+	if _, err := co.Run(context.Background(), replay); err != nil {
+		t.Fatal(err)
+	}
+	if st := co.Stats(); st.CachedPoints != 0 || st.SimulatedPoints != st.TotalPoints {
+		t.Fatalf("replay spec touched the cache: %+v", st)
+	}
+	entries, err = os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("replay spec wrote %d cache entries", len(entries))
+	}
+}
+
+// resumeSpec is small enough to kill deterministically: 1 series,
+// 3 points, 2 replications — 6 simulations, whole points of 2.
+func resumeSpec() Spec {
+	return NewSpec(
+		WithName("kill and resume"),
+		WithTopology(4, 4),
+		WithArbiters("SPAA-rotary"),
+		WithPatterns("random"),
+		WithRates(0.02, 0.04, 0.06),
+		WithCycles(300),
+		WithSeed(21),
+		WithReplications(2),
+	)
+}
+
+// killAfter runs the spec on a serial coordinator, cancelling the
+// context after the nth point-done event, and returns the coordinator.
+func killAfter(t *testing.T, store *cache.Store, sp Spec, n int) *Coordinator {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	var co *Coordinator
+	co = NewCoordinator(
+		WithCache(store),
+		WithCoordinatorWorkers(1),
+		WithCoordinatorEventSink(func(e Event) {
+			if e.Type == EventPointDone {
+				seen++
+				if seen == n {
+					cancel()
+				}
+			}
+		}),
+	)
+	res, err := co.Run(ctx, sp)
+	if err != context.Canceled {
+		t.Fatalf("killed run returned %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("killed run must return a partial result")
+	}
+	return co
+}
+
+// TestCoordinatorKillAndResume is the resumability satellite: kill a
+// sweep mid-grid, assert the cache holds only whole completed points —
+// each strictly decodable — then resume and assert the merged output is
+// byte-identical to an uninterrupted run, with only the missing points
+// simulated.
+func TestCoordinatorKillAndResume(t *testing.T) {
+	sp := resumeSpec()
+	key := mustHash(t, sp)
+
+	// The uninterrupted truth, via the monolithic Runner.
+	mono, err := NewRunner(WithWorkers(1)).Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(t, mono)
+
+	store := testStore(t)
+	// Cancel after the 2nd simulation: point 0's two replications have
+	// both finished (a whole point), and with one worker and one shard
+	// per point, no other shard has started.
+	killed := killAfter(t, store, sp, 2)
+	if st := killed.Stats(); st.SimulatedPoints != 1 {
+		t.Fatalf("killed run simulated %d points, want exactly 1", st.SimulatedPoints)
+	}
+	cells, err := store.Cells(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0] != (cache.Cell{Series: 0, Point: 0}) {
+		t.Fatalf("cache holds %v, want exactly cell (0,0)", cells)
+	}
+	for _, cl := range cells {
+		data, ok, err := store.Get(key, cl)
+		if err != nil || !ok {
+			t.Fatalf("cached cell %v unreadable: ok=%v err=%v", cl, ok, err)
+		}
+		var pt ResultPoint
+		if err := strictDecoder(data).Decode(&pt); err != nil {
+			t.Fatalf("cached cell %v is not a whole, strictly decodable point: %v", cl, err)
+		}
+	}
+
+	// Resume: only the two missing points may simulate, and the merged
+	// stream must match the uninterrupted run byte for byte.
+	resumed := NewCoordinator(WithCache(store), WithCoordinatorWorkers(1))
+	res, err := resumed.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := resumed.Stats()
+	if st.CachedPoints != 1 || st.SimulatedPoints != 2 {
+		t.Fatalf("resume stats %+v, want 1 cached + 2 simulated", st)
+	}
+	if got := resultFingerprint(t, res); got != want {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// TestCoordinatorKillMidPointPersistsNothing cancels after a single
+// replication — half a point. The cache must stay empty: points persist
+// whole or not at all.
+func TestCoordinatorKillMidPointPersistsNothing(t *testing.T) {
+	sp := resumeSpec()
+	store := testStore(t)
+	killed := killAfter(t, store, sp, 1)
+	if st := killed.Stats(); st.SimulatedPoints != 0 {
+		t.Fatalf("mid-point kill persisted %d points, want 0", st.SimulatedPoints)
+	}
+	cells, err := store.Cells(mustHash(t, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("cache holds %v after a mid-point kill; points must persist whole or not at all", cells)
+	}
+}
+
+// TestCoordinatorCorruptCacheCellFails overwrites a cached cell with
+// garbage: the next run must fail loudly instead of merging a torn cache
+// into a plausible-looking result.
+func TestCoordinatorCorruptCacheCellFails(t *testing.T) {
+	store := testStore(t)
+	sp := fingerprintStandaloneSpec()
+	if _, err := NewCoordinator(WithCache(store)).Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	key := mustHash(t, sp)
+	if err := store.Put(key, cache.Cell{Series: 0, Point: 0}, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(WithCache(store)).Run(context.Background(), sp); err == nil {
+		t.Fatal("corrupt cache cell was served silently")
+	}
+}
+
+// TestCoordinatorFigureMatrixMatchesRunner sweeps the full canned figure
+// matrix at reduced fidelity through both execution paths and demands
+// byte identity — the whole-surface version of the golden-fingerprint
+// gate.
+func TestCoordinatorFigureMatrixMatchesRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure matrix is too slow for -short")
+	}
+	o := Options{Quick: true, CyclesOverride: 600, MaxRatePoints: 2, Seed: 1}
+	specs, err := FigureSpecs("all", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t)
+	for _, sp := range specs {
+		mono, err := NewRunner().Run(context.Background(), sp)
+		if err != nil {
+			t.Fatalf("%s: runner: %v", sp.Name, err)
+		}
+		co := NewCoordinator(WithCache(store), WithShards(4))
+		cres, err := co.Run(context.Background(), sp)
+		if err != nil {
+			t.Fatalf("%s: coordinator: %v", sp.Name, err)
+		}
+		if a, b := resultFingerprint(t, mono), resultFingerprint(t, cres); a != b {
+			t.Errorf("%s: coordinated result diverged from monolithic:\n  runner      %s\n  coordinator %s",
+				sp.Name, a, b)
+		}
+	}
+	// And the whole matrix again, warm: zero simulations.
+	for _, sp := range specs {
+		co := NewCoordinator(WithCache(store))
+		if _, err := co.Run(context.Background(), sp); err != nil {
+			t.Fatalf("%s: warm: %v", sp.Name, err)
+		}
+		if st := co.Stats(); st.SimulatedPoints != 0 {
+			t.Errorf("%s: warm run simulated %d points", sp.Name, st.SimulatedPoints)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package experiment
+
+// shard_test.go pins the shard planner/merger contract: the plan covers
+// the grid exactly once with valid sub-Specs, and sharded execution
+// merged back together is byte-identical to the monolithic Runner — the
+// PR-4 golden fingerprints included, so the determinism guarantee the
+// whole sweep service leans on is enforced at the same bar as the
+// zero-allocation refactor was.
+
+import (
+	"context"
+	"testing"
+)
+
+// runShards executes every shard Spec serially and returns the results.
+func runShards(t testing.TB, shards []Shard) []*Result {
+	t.Helper()
+	runner := NewRunner(WithWorkers(1))
+	results := make([]*Result, len(shards))
+	for i, sh := range shards {
+		res, err := runner.Run(context.Background(), sh.Spec)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+func shardPlanSpecs() map[string]Spec {
+	return map[string]Spec{
+		"timing matrix": NewSpec(
+			WithName("shard plan timing"),
+			WithTopology(4, 4),
+			WithArbiters("SPAA-rotary", "PIM1"),
+			WithPatterns("random", "tornado"),
+			WithProcesses("bernoulli", "onoff"),
+			WithRates(0.01, 0.02, 0.03),
+			WithCycles(400),
+			WithSeed(5),
+		),
+		"standalone": NewSpec(
+			WithName("shard plan standalone"),
+			WithArbiters("MCM", "PIM1", "SPAA-base"),
+			WithStandaloneSweep(AxisLoad, 0.2, 0.6, 1.0),
+			WithCycles(200),
+			WithSeed(2),
+		),
+		"replicated": NewSpec(
+			WithName("shard plan replicated"),
+			WithTopology(4, 4),
+			WithArbiters("PIM1"),
+			WithPatterns("random"),
+			WithRates(0.02, 0.04),
+			WithCycles(300),
+			WithSeed(9),
+			WithReplications(2),
+		),
+	}
+}
+
+// TestPlanShardsCoversGridOnce checks, for every spec shape and a range
+// of shard counts, that the union of shard cells is exactly the grid,
+// no cell repeats, no shard spans two series, and every shard-Spec both
+// validates and expands to exactly its cells.
+func TestPlanShardsCoversGridOnce(t *testing.T) {
+	for name, sp := range shardPlanSpecs() {
+		a := sp.axes()
+		total := a.seriesCount() * a.points
+		for _, want := range []int{0, 1, 2, 3, 7, 100} {
+			shards, err := PlanShards(sp, want)
+			if err != nil {
+				t.Fatalf("%s/want=%d: %v", name, want, err)
+			}
+			seen := make(map[ShardCell]bool)
+			for si, sh := range shards {
+				if err := sh.Spec.Validate(); err != nil {
+					t.Fatalf("%s/want=%d: shard %d spec invalid: %v", name, want, si, err)
+				}
+				if len(sh.Cells) == 0 {
+					t.Fatalf("%s/want=%d: shard %d is empty", name, want, si)
+				}
+				for _, c := range sh.Cells {
+					if c.Series != sh.Cells[0].Series {
+						t.Fatalf("%s/want=%d: shard %d spans series %d and %d",
+							name, want, si, sh.Cells[0].Series, c.Series)
+					}
+					if seen[c] {
+						t.Fatalf("%s/want=%d: cell %+v covered twice", name, want, c)
+					}
+					seen[c] = true
+				}
+				pl, err := sh.Spec.expand()
+				if err != nil {
+					t.Fatalf("%s/want=%d: shard %d expand: %v", name, want, si, err)
+				}
+				if got := len(pl.jobs); got != len(sh.Cells)*pl.reps {
+					t.Fatalf("%s/want=%d: shard %d expands to %d jobs, want %d cells x %d reps",
+						name, want, si, got, len(sh.Cells), pl.reps)
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("%s/want=%d: %d cells covered, grid has %d", name, want, len(seen), total)
+			}
+			if want > 0 && len(shards) > total {
+				t.Fatalf("%s/want=%d: %d shards for %d cells", name, want, len(shards), total)
+			}
+		}
+	}
+}
+
+// TestPlanShardsDeterministic re-plans the same spec and checks the
+// shard→cell mapping is identical — the property resume leans on.
+func TestPlanShardsDeterministic(t *testing.T) {
+	sp := shardPlanSpecs()["timing matrix"]
+	first, err := PlanShards(sp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := PlanShards(sp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("plan sizes differ: %d != %d", len(first), len(second))
+	}
+	for i := range first {
+		if len(first[i].Cells) != len(second[i].Cells) {
+			t.Fatalf("shard %d sizes differ", i)
+		}
+		for j := range first[i].Cells {
+			if first[i].Cells[j] != second[i].Cells[j] {
+				t.Fatalf("shard %d cell %d differs: %+v != %+v",
+					i, j, first[i].Cells[j], second[i].Cells[j])
+			}
+		}
+	}
+}
+
+// mergedFingerprint shards the spec, runs every shard, merges, and
+// fingerprints the merged Result with the same hashing the golden tests
+// use.
+func mergedFingerprint(t *testing.T, sp Spec, shards int) string {
+	t.Helper()
+	plan, err := PlanShards(sp, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 1 && len(plan) < 2 {
+		t.Fatalf("expected a real decomposition, got %d shard(s)", len(plan))
+	}
+	merged, err := MergeShardResults(sp, plan, runShards(t, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Partial {
+		t.Fatal("merged result marked Partial after a complete run")
+	}
+	return resultFingerprint(t, merged)
+}
+
+// TestShardedExecutionMatchesGoldenFingerprints is the acceptance gate:
+// shard-and-merge must reproduce the PR-4 golden fingerprints byte for
+// byte, at several decompositions including one-shard-per-point.
+func TestShardedExecutionMatchesGoldenFingerprints(t *testing.T) {
+	for _, shards := range []int{0, 2, 5} {
+		if got := mergedFingerprint(t, fingerprintTimingSpec(), shards); got != goldenTimingFingerprint {
+			t.Errorf("shards=%d: timing fingerprint diverged:\n  got  %s\n  want %s",
+				shards, got, goldenTimingFingerprint)
+		}
+		if got := mergedFingerprint(t, fingerprintStandaloneSpec(), shards); got != goldenStandaloneFingerprint {
+			t.Errorf("shards=%d: standalone fingerprint diverged:\n  got  %s\n  want %s",
+				shards, got, goldenStandaloneFingerprint)
+		}
+	}
+}
+
+// TestShardedReplicationMatchesMonolithic covers the replication path:
+// per-point Replication statistics must survive shard-and-merge intact.
+func TestShardedReplicationMatchesMonolithic(t *testing.T) {
+	sp := shardPlanSpecs()["replicated"]
+	mono, err := NewRunner(WithWorkers(1)).Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultFingerprint(t, mono)
+	if got := mergedFingerprint(t, sp, 0); got != want {
+		t.Fatalf("replicated shard-and-merge diverged from monolithic:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// TestMergeShardResultsPartial drops one shard's result and checks the
+// merged Result keeps the monolithic partial shape: contiguous per-series
+// prefixes and the Partial flag.
+func TestMergeShardResultsPartial(t *testing.T) {
+	sp := fingerprintStandaloneSpec()
+	plan, err := PlanShards(sp, 0) // one shard per cell
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runShards(t, plan)
+	// Drop the middle cell of series 0 (cells are series-major; the
+	// standalone fingerprint spec has 2 points per series).
+	dropped := -1
+	for i, sh := range plan {
+		if sh.Cells[0] == (ShardCell{Series: 0, Point: 0}) {
+			dropped = i
+		}
+	}
+	if dropped < 0 {
+		t.Fatal("cell (0,0) not found in plan")
+	}
+	results[dropped] = nil
+	merged, err := MergeShardResults(sp, plan, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Partial {
+		t.Fatal("missing cell did not mark the merge Partial")
+	}
+	if got := len(merged.Series[0].Points); got != 0 {
+		t.Fatalf("series 0 kept %d points after losing point 0; the prefix cut must drop them all", got)
+	}
+	for si := 1; si < len(merged.Series); si++ {
+		if got := len(merged.Series[si].Points); got != 2 {
+			t.Fatalf("series %d has %d points, want its full 2", si, got)
+		}
+	}
+}
+
+func TestMergeShardResultsShapeMismatch(t *testing.T) {
+	sp := fingerprintStandaloneSpec()
+	plan, err := PlanShards(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardResults(sp, plan, make([]*Result, len(plan)-1)); err == nil {
+		t.Fatal("mismatched result count accepted")
+	}
+}
+
+// BenchmarkShardMerge times the merger alone — plan once, run the shards
+// once, then merge repeatedly. This is the coordinator's per-sweep
+// overhead beyond the simulations themselves; cmd/sweep -bench's
+// coordinated entry gates the end-to-end points/sec against the
+// committed baseline.
+func BenchmarkShardMerge(b *testing.B) {
+	sp := fingerprintTimingSpec()
+	plan, err := PlanShards(sp, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := runShards(b, plan)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, err := MergeShardResults(sp, plan, results)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.Partial {
+			b.Fatal("partial merge")
+		}
+	}
+}
