@@ -17,14 +17,18 @@ race:
 
 # race-pools points the race detector at the pooled/arena hot paths
 # specifically: the tick-wheel scheduler, the packet arena, the router
-# slab/rings, and the workload injection queues — plus the oracle hook
-# paths (invariant checker, replicated/checked Runner fan-outs).
+# slab/rings, and the workload injection queues — plus the oracle and
+# telemetry hook paths (invariant checker, obs counters/flight rings,
+# replicated/checked/instrumented Runner fan-outs, and the daemon's
+# shared metrics under concurrent scrapes).
 race-pools:
 	$(GO) test -race -count=1 \
 		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
 		./internal/sim ./internal/packet ./internal/vc ./internal/router ./internal/workload
-	$(GO) test -race -count=1 ./internal/check
-	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches' ./internal/experiment
+	$(GO) test -race -count=1 ./internal/check ./internal/obs
+	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches|Metrics' ./internal/experiment
+	$(GO) test -race -count=1 -run 'Metrics|Flight' ./internal/router
+	$(GO) test -race -count=1 -run 'Metrics|Pprof' ./cmd/sweepd
 
 # cover writes the atomic-mode coverage profile for the whole module.
 cover:

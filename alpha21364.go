@@ -44,6 +44,7 @@ import (
 	"alpha21364/internal/cache"
 	"alpha21364/internal/core"
 	"alpha21364/internal/experiment"
+	"alpha21364/internal/obs"
 	"alpha21364/internal/packet"
 	"alpha21364/internal/sim"
 	"alpha21364/internal/standalone"
@@ -270,7 +271,28 @@ var (
 	WithReplications    = experiment.WithReplications
 	WithConfidence      = experiment.WithConfidence
 	WithCheck           = experiment.WithCheck
+	WithMetrics         = experiment.WithMetrics
 )
+
+// Telemetry types: a metrics-enabled Spec (WithMetrics) attaches one
+// MetricsSnapshot — router occupancy, stalls, arbitration counters,
+// link utilization — to every ResultPoint; MetricsSidecarOf collects
+// them into the standalone document `sweep -metrics` writes, and
+// StripVolatile is the canonical normalization for byte-comparing two
+// runs of the same Spec.
+type (
+	MetricsSnapshot = obs.Snapshot
+	MetricsSidecar  = experiment.MetricsSidecar
+	MetricsPoint    = experiment.MetricsPoint
+)
+
+// StripVolatile zeroes a Result's wall-clock fields so repeated runs
+// compare byte-identical.
+func StripVolatile(r *Result) { experiment.StripVolatile(r) }
+
+// MetricsSidecarOf collects a Result's telemetry snapshots, or nil when
+// the run was not metrics-enabled.
+func MetricsSidecarOf(r *Result) *MetricsSidecar { return experiment.MetricsSidecarOf(r) }
 
 // MetricStats and ReplicationStats are the per-point multi-seed
 // statistics a replicated Spec (WithReplications) attaches to every

@@ -9,10 +9,11 @@
 //
 // Usage:
 //
-//	sweep -spec FILE [-out DIR] [-workers N] [-progress] [-json]
+//	sweep -spec FILE [-out DIR] [-workers N] [-progress] [-json] [-stable]
 //	sweep -emit-spec [-figure F | -matrix ... | -run ...]   > specs.json
 //	sweep [-figure all|8|9|10|10s|11a|11b|11c] [-quick] [-seed N] [-out DIR]
-//	      [-workers N] [-progress] [-json] [-check] [-reps N [-confidence C]]
+//	      [-workers N] [-progress] [-json] [-check] [-metrics] [-stable]
+//	      [-reps N [-confidence C]]
 //	sweep -matrix [-algos A,B] [-patterns P,Q] [-processes X,Y] [-rates R1,R2]
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
@@ -27,6 +28,13 @@
 // was killed), and -shards N to decompose each sweep into about N
 // independently runnable shard specs. Results are byte-identical to an
 // uncached, unsharded run.
+//
+// -metrics enables the telemetry layer (internal/obs) on every timing
+// simulation: each emitted point carries an observation-only snapshot,
+// and with -out a <name>.metrics.json sidecar collects them. -stable
+// zeroes volatile fields (wall-clock durations) in emitted Results so
+// two runs of the same spec compare byte-identical — the canonical
+// normalization for warm-cache rerun checks.
 //
 // -cpuprofile and -memprofile write pprof profiles for any mode.
 // Contradictory flag combinations (for example -record with -matrix, or
@@ -70,10 +78,11 @@ func main() {
 // app carries the output streams: results (tables or JSONL) go to out,
 // progress and diagnostics to the logger on errW.
 type app struct {
-	out  io.Writer
-	log  *log.Logger
-	json bool
-	dir  string // -out directory, "" for none
+	out    io.Writer
+	log    *log.Logger
+	json   bool
+	dir    string // -out directory, "" for none
+	stable bool   // -stable: StripVolatile every Result before emission
 	// exec runs one Spec — through a plain Runner, or through the
 	// sharded/cached Coordinator when -cache-dir or -shards is given.
 	exec func(experiment.Spec) (*experiment.Result, error)
@@ -109,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	markdown := fs.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	checkFlag := fs.Bool("check", false, "enable the online invariant oracle (conservation, VC bounds, grant legality, deadlock watchdog) for every simulation")
+	metricsFlag := fs.Bool("metrics", false, "enable the telemetry layer for every timing simulation: each point carries an internal/obs snapshot, and with -out a <name>.metrics.json sidecar is written")
+	stable := fs.Bool("stable", false, "zero volatile fields (wall-clock durations) in emitted Results, so two runs of the same spec compare byte-identical")
 	reps := fs.Int("reps", 0, "replications per point: run each point N times with derived seeds and attach mean/stddev/confidence-interval statistics (0 or 1 = single run)")
 	confidence := fs.Float64("confidence", 0, "confidence level of the -reps interval (default 0.95)")
 	progress := fs.Bool("progress", false, "log Runner events (each completed simulation) to stderr")
@@ -160,11 +171,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer stopProf()
 
-	a := &app{out: stdout, log: logger, json: *jsonOut, dir: *out}
+	a := &app{out: stdout, log: logger, json: *jsonOut, dir: *out, stable: *stable}
 
 	o := experiment.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers,
-		Check: *checkFlag, Replications: *reps, Confidence: *confidence,
+		Check: *checkFlag, Metrics: *metricsFlag,
+		Replications: *reps, Confidence: *confidence,
 	}
 	var eventSink func(experiment.Event)
 	var runnerOpts []experiment.RunnerOption
@@ -197,7 +209,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if store == nil && *shards == 0 {
 		a.exec = func(sp experiment.Spec) (*experiment.Result, error) {
-			return experiment.NewRunner(runnerOpts...).Run(context.Background(), sp)
+			res, err := experiment.NewRunner(runnerOpts...).Run(context.Background(), sp)
+			if err == nil && a.stable {
+				experiment.StripVolatile(res)
+			}
+			return res, err
 		}
 	} else {
 		a.exec = func(sp experiment.Spec) (*experiment.Result, error) {
@@ -217,6 +233,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 				st := co.Stats()
 				logger.Printf("cache: %d/%d points cached, %d simulated, %d shard(s)",
 					st.CachedPoints, st.TotalPoints, st.SimulatedPoints, st.Shards)
+				if a.stable {
+					experiment.StripVolatile(res)
+				}
 			}
 			return res, err
 		}
@@ -366,7 +385,7 @@ func buildContradictions() []contradiction {
 	// they change how a spec runs, never what it means.)
 	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
 		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay",
-		"check", "reps", "confidence"} {
+		"check", "metrics", "reps", "confidence"} {
 		add("spec", f, "a spec file fixes the whole scenario; edit the file instead")
 	}
 	add("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly")
@@ -408,6 +427,13 @@ func buildContradictions() []contradiction {
 	// The bench suite measures the unchecked, unreplicated hot path.
 	add("bench", "check", "the bench suite measures the unchecked hot path; see DESIGN.md for the enabled cost model")
 	add("bench", "reps", "the bench suite is fixed")
+	add("bench", "metrics", "the bench suite measures the uninstrumented hot path")
+	add("verify", "metrics", "claim verification compares measurements, not telemetry")
+	// -stable normalizes emitted Results; modes that emit something else
+	// have nothing to normalize.
+	for _, f := range []string{"emit-spec", "bench", "verify", "list"} {
+		add(f, "stable", "-stable normalizes emitted Results; this mode emits none")
+	}
 	// Recording replays every replication into the same trace file.
 	add("record", "reps", "every replication would rewrite the trace file")
 	// The cache serves sweep results; modes that measure or emit
@@ -780,6 +806,26 @@ func (a *app) writeJSONL(name string, res *experiment.Result) error {
 		return err
 	}
 	a.log.Printf("wrote %s", path)
+	return a.writeMetricsSidecar(name, res)
+}
+
+// writeMetricsSidecar mirrors a metric-laden Result's telemetry into a
+// standalone <name>.metrics.json document, then re-reads it to prove the
+// file is loadable — a corrupt sidecar should fail the run that wrote
+// it, not the consumer that scrapes it later.
+func (a *app) writeMetricsSidecar(name string, res *experiment.Result) error {
+	sc := experiment.MetricsSidecarOf(res)
+	if sc == nil || a.dir == "" {
+		return nil
+	}
+	path := filepath.Join(a.dir, name+".metrics.json")
+	if err := sc.WriteFile(path); err != nil {
+		return err
+	}
+	if _, err := experiment.ReadMetricsSidecarFile(path); err != nil {
+		return fmt.Errorf("sidecar verification failed: %w", err)
+	}
+	a.log.Printf("wrote %s (%d snapshot(s))", path, len(sc.Points))
 	return nil
 }
 

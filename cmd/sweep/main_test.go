@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 
@@ -117,7 +116,7 @@ var ruleSamples = map[string]string{
 	"check": "true", "reps": "2", "confidence": "0.9", "emit-spec": "true",
 	"json": "true", "workers": "2", "progress": "true", "list": "true",
 	"cache-dir": "cachedir", "shards": "4", "bench-baseline": "BENCH.json",
-	"resume": "true",
+	"resume": "true", "metrics": "true", "stable": "true",
 }
 
 func sampleArg(t *testing.T, name string) string {
@@ -194,21 +193,17 @@ func TestRuleTablesWellFormed(t *testing.T) {
 	}
 }
 
-// stripElapsed removes the one nondeterministic field from a Result
-// JSONL stream so runs can be compared byte-for-byte.
-func stripElapsed(s string) string {
-	return regexp.MustCompile(`,"elapsed_ns":\d+`).ReplaceAllString(s, "")
-}
-
 // TestCachedMatrixSecondRunSimulatesNothing is the CLI face of the cache
 // contract: the same -matrix invocation twice against one -cache-dir
 // must simulate zero points the second time and emit identical bytes.
+// -stable is the supported normalization: it zeroes the wall-clock
+// field at the source, so the streams compare with plain equality.
 func TestCachedMatrixSecondRunSimulatesNothing(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{
 		"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
 		"-rates", "0.02,0.04", "-size", "4x4", "-cycles", "300",
-		"-json", "-cache-dir", filepath.Join(dir, "cache"),
+		"-json", "-stable", "-cache-dir", filepath.Join(dir, "cache"),
 	}
 	var out1, err1, out2, err2 bytes.Buffer
 	if err := run(args, &out1, &err1); err != nil {
@@ -223,8 +218,61 @@ func TestCachedMatrixSecondRunSimulatesNothing(t *testing.T) {
 	if !strings.Contains(err2.String(), "2/2 points cached, 0 simulated") {
 		t.Fatalf("warm run still simulated:\n%s", err2.String())
 	}
-	if stripElapsed(out1.String()) != stripElapsed(out2.String()) {
-		t.Fatalf("cached run output diverged:\n--- cold ---\n%s\n--- warm ---\n%s", out1.String(), out2.String())
+	if out1.String() != out2.String() {
+		t.Fatalf("cached -stable run output diverged:\n--- cold ---\n%s\n--- warm ---\n%s", out1.String(), out2.String())
+	}
+	// ElapsedNS is omitempty: stripping it means the key disappears.
+	if strings.Contains(out1.String(), `"elapsed_ns"`) {
+		t.Fatalf("-stable did not strip elapsed_ns:\n%s", out1.String())
+	}
+}
+
+// TestMetricsFlagEmitsSnapshotsAndSidecar is the CLI face of the
+// telemetry layer: -metrics makes every emitted point carry a snapshot,
+// and with -out a loadable <name>.metrics.json sidecar appears.
+func TestMetricsFlagEmitsSnapshotsAndSidecar(t *testing.T) {
+	outDir := t.TempDir()
+	args := []string{
+		"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
+		"-rates", "0.02", "-size", "4x4", "-cycles", "300",
+		"-json", "-stable", "-metrics", "-out", outDir,
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"metrics":{"version":1`) {
+		t.Fatalf("-metrics stream carries no snapshots:\n%s", stdout.String())
+	}
+	sidecar := filepath.Join(outDir, "scenario-matrix.metrics.json")
+	sc, err := experiment.ReadMetricsSidecarFile(sidecar)
+	if err != nil {
+		t.Fatalf("sidecar: %v", err)
+	}
+	if len(sc.Points) != 1 || sc.Points[0].Metrics == nil {
+		t.Fatalf("sidecar has %d point(s), want 1 with a snapshot", len(sc.Points))
+	}
+	if sc.Points[0].Metrics.Arbiter != "PIM1" {
+		t.Errorf("sidecar snapshot arbiter = %q, want PIM1", sc.Points[0].Metrics.Arbiter)
+	}
+
+	// Without -metrics, no snapshot key and no sidecar.
+	bareDir := t.TempDir()
+	bareArgs := []string{
+		"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
+		"-rates", "0.02", "-size", "4x4", "-cycles", "300",
+		"-json", "-out", bareDir,
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(bareArgs, &stdout, &stderr); err != nil {
+		t.Fatalf("bare run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if strings.Contains(stdout.String(), `"metrics"`) {
+		t.Fatalf("bare run emitted a metrics key:\n%s", stdout.String())
+	}
+	if _, err := experiment.ReadMetricsSidecarFile(filepath.Join(bareDir, "scenario-matrix.metrics.json")); err == nil {
+		t.Error("bare run wrote a metrics sidecar")
 	}
 }
 

@@ -16,8 +16,12 @@
 // each Result's JSONL to stdout; a failed Spec produces a single
 // {"type":"error",...} line instead, and the stream continues. With
 // -http, POST /run takes one Spec document and streams the Result JSONL
-// response; GET /healthz reports liveness. Diagnostics, including the
-// per-run cache statistics, go to stderr.
+// response; GET /healthz reports liveness; GET /metrics exposes
+// process-lifetime counters (requests, points, cache hit ratio,
+// run/shard latency histograms, and per-arbiter router telemetry
+// aggregated from metrics-enabled specs) in the Prometheus text format;
+// /debug/pprof/ serves the standard profiling endpoints. Diagnostics,
+// including the per-run cache statistics, go to stderr.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"alpha21364/internal/cache"
@@ -60,7 +65,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	svc := &service{shards: *shards, workers: *workers, log: logger}
+	svc := &service{shards: *shards, workers: *workers, log: logger, metrics: newDaemonMetrics()}
 	if *cacheDir != "" {
 		store, err := cache.Open(*cacheDir)
 		if err != nil {
@@ -83,6 +88,7 @@ type service struct {
 	shards  int
 	workers int
 	log     *log.Logger
+	metrics *daemonMetrics
 }
 
 func (s *service) coordinator() *experiment.Coordinator {
@@ -98,12 +104,15 @@ func (s *service) coordinator() *experiment.Coordinator {
 
 // runSpec executes one parsed Spec and streams its Result JSONL to w.
 func (s *service) runSpec(ctx context.Context, sp experiment.Spec, w io.Writer) error {
+	s.metrics.recordRequest()
 	co := s.coordinator()
 	res, err := co.Run(ctx, sp)
 	if err != nil {
+		s.metrics.recordError()
 		return err
 	}
 	st := co.Stats()
+	s.metrics.recordRun(st, res)
 	s.log.Printf("ran spec: %d/%d points cached, %d simulated, %d shard(s)",
 		st.CachedPoints, st.TotalPoints, st.SimulatedPoints, st.Shards)
 	return res.EncodeJSONL(w)
@@ -138,6 +147,7 @@ func (s *service) serveStdin(stdin io.Reader, stdout io.Writer) error {
 		}
 		specs, err := experiment.ParseSpecs(raw)
 		if err != nil {
+			s.metrics.recordBadRequest()
 			writeErrLine(stdout, err)
 			continue
 		}
@@ -169,18 +179,34 @@ func (s *service) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.writeProm(w); err != nil {
+			s.log.Printf("metrics write: %v", err)
+		}
+	})
+	// The standard profiling endpoints, on the daemon's own mux (the
+	// pprof package only self-registers on http.DefaultServeMux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 		if err != nil {
+			s.metrics.recordBadRequest()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		if len(body) > maxSpecBytes {
+			s.metrics.recordBadRequest()
 			http.Error(w, "spec document too large", http.StatusRequestEntityTooLarge)
 			return
 		}
 		sp, err := experiment.ParseSpec(body)
 		if err != nil {
+			s.metrics.recordBadRequest()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

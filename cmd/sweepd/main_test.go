@@ -34,7 +34,7 @@ func smallSpecJSON(t *testing.T) []byte {
 
 func testService(t *testing.T, dir string) *service {
 	t.Helper()
-	svc := &service{workers: 1, log: log.New(io.Discard, "", 0)}
+	svc := &service{workers: 1, log: log.New(io.Discard, "", 0), metrics: newDaemonMetrics()}
 	if dir != "" {
 		store, err := cache.Open(dir)
 		if err != nil {

@@ -28,10 +28,12 @@
 package check
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"alpha21364/internal/core"
+	"alpha21364/internal/obs"
 	"alpha21364/internal/ports"
 	"alpha21364/internal/router"
 	"alpha21364/internal/sim"
@@ -92,17 +94,22 @@ type Probes struct {
 	// Routers are the routers to watch. The Checker installs nothing;
 	// the harness is responsible for SetOracle on each.
 	Routers []*router.Router
+	// FlightRings, when non-nil, holds each router's flight recorder,
+	// parallel to Routers. The deadlock watchdog dumps the stuck routers'
+	// rings into its Violation, turning "stuck (router,in,ch)" into a
+	// replayable last-N-events trace.
+	FlightRings []*obs.FlightRing
 }
 
 // StuckVC names one stuck buffer in a watchdog report.
 type StuckVC struct {
-	Node     int
-	In       ports.In
-	Ch       vc.Channel
-	Queued   int
-	OldestID uint64
+	Node     int        `json:"node"`
+	In       ports.In   `json:"in"`
+	Ch       vc.Channel `json:"ch"`
+	Queued   int        `json:"queued"`
+	OldestID uint64     `json:"oldest_id"`
 	// Waited is how long the buffer's oldest packet has been sitting.
-	Waited sim.Ticks
+	Waited sim.Ticks `json:"waited"`
 }
 
 func (s StuckVC) String() string {
@@ -110,21 +117,26 @@ func (s StuckVC) String() string {
 		s.Node, s.In, s.Ch, s.Queued, s.OldestID, s.Waited)
 }
 
-// Violation is a structured invariant failure. It implements error.
+// Violation is a structured invariant failure. It implements error and
+// marshals to JSON so harnesses can log it structurally.
 type Violation struct {
 	// Invariant is the failed class: "grant-legality", "wave-matrix",
 	// "vc-bounds", "credit-bounds", "conservation", "arena-leak", or
 	// "watchdog".
-	Invariant string
+	Invariant string `json:"invariant"`
 	// Node is the router the violation is local to, -1 for network-wide
 	// invariants.
-	Node int
+	Node int `json:"node"`
 	// At is the engine tick of detection.
-	At sim.Ticks
+	At sim.Ticks `json:"at"`
 	// Msg describes the failure.
-	Msg string
+	Msg string `json:"msg"`
 	// Stuck lists the stuck buffers of a watchdog violation.
-	Stuck []StuckVC
+	Stuck []StuckVC `json:"stuck,omitempty"`
+	// Trace holds the stuck routers' flight-recorder dumps (watchdog
+	// violations with Probes.FlightRings wired): the last-N engine events
+	// per stuck router, oldest first.
+	Trace []obs.FlightDump `json:"trace,omitempty"`
 }
 
 func (v *Violation) Error() string {
@@ -138,6 +150,12 @@ func (v *Violation) Error() string {
 	for _, s := range v.Stuck {
 		b.WriteString("\n  ")
 		b.WriteString(s.String())
+	}
+	for _, d := range v.Trace {
+		if enc, err := json.Marshal(d); err == nil {
+			b.WriteString("\n  flight ")
+			b.Write(enc)
+		}
 	}
 	return b.String()
 }
@@ -520,6 +538,24 @@ func (c *Checker) checkWatchdog(now sim.Ticks, delivered, inFlight int64) {
 				OldestID: oldestID, Waited: now - oldestArrive,
 			})
 		})
+	}
+	// With flight recorders wired, attach each stuck router's trace once.
+	if len(c.probes.FlightRings) == len(c.probes.Routers) {
+		dumped := make(map[int]bool)
+		for i, r := range c.probes.Routers {
+			node := int(r.Node())
+			ring := c.probes.FlightRings[i]
+			if ring == nil || dumped[node] {
+				continue
+			}
+			for _, s := range v.Stuck {
+				if s.Node == node {
+					dumped[node] = true
+					v.Trace = append(v.Trace, ring.Dump(node))
+					break
+				}
+			}
+		}
 	}
 	c.fail(v)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"alpha21364/internal/core"
+	"alpha21364/internal/obs"
 	"alpha21364/internal/packet"
 	"alpha21364/internal/ports"
 	"alpha21364/internal/router"
@@ -84,13 +85,16 @@ func TestWatchdogTripsOnStalledRouter(t *testing.T) {
 	inj := &stalledInjector{r: r, dst: topology.Node(2), want: 400}
 	eng.AddClock(cfg.RouterPeriod, 0, r, inj)
 
+	ring := obs.NewFlightRing(obs.DefaultFlightDepth)
+	r.SetFlight(ring)
 	chk := New(Config{HorizonCycles: 200, EveryCycles: 20, RouterPeriod: cfg.RouterPeriod}, Probes{
-		Injected:   func() int64 { return r.Counters.Injected },
-		Delivered:  func() int64 { return r.Counters.DeliveredLocal },
-		Buffered:   r.Buffered,
-		LinkFlight: func() int64 { return *sent },
-		Stop:       eng.Stop,
-		Routers:    []*router.Router{r},
+		Injected:    func() int64 { return r.Counters.Injected },
+		Delivered:   func() int64 { return r.Counters.DeliveredLocal },
+		Buffered:    r.Buffered,
+		LinkFlight:  func() int64 { return *sent },
+		Stop:        eng.Stop,
+		Routers:     []*router.Router{r},
+		FlightRings: []*obs.FlightRing{ring},
 	})
 	r.SetOracle(chk)
 	driveSweeps(eng, chk)
@@ -117,8 +121,26 @@ func TestWatchdogTripsOnStalledRouter(t *testing.T) {
 			t.Errorf("stuck VC reports no waiting time: %+v", s)
 		}
 	}
+	// The flight recorder's dump rides along: the stuck router's recent
+	// engine events, as a structured trace and as JSON in the message.
+	if len(v.Trace) != 1 || v.Trace[0].Node != 0 {
+		t.Fatalf("watchdog trace = %+v, want one dump for router 0", v.Trace)
+	}
+	if len(v.Trace[0].Events) == 0 {
+		t.Fatal("watchdog trace holds no flight events")
+	}
+	var sawReset bool
+	for _, e := range v.Trace[0].Events {
+		if e.Kind == obs.FlightReset {
+			sawReset = true
+		}
+	}
+	if !sawReset {
+		t.Error("stuck router's trace shows no nomination resets")
+	}
 	msg := v.Error()
-	for _, want := range []string{"watchdog", "no delivery", "router 0", "L-Cache"} {
+	for _, want := range []string{"watchdog", "no delivery", "router 0", "L-Cache",
+		`flight {"node":0,"events":[`, `"kind":"reset"`} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("violation message %q does not mention %q", msg, want)
 		}

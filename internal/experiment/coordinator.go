@@ -55,6 +55,11 @@ type CoordinatorStats struct {
 	SimulatedPoints int
 	// Shards is how many shard-Specs the missing cells were planned into.
 	Shards int
+	// ElapsedNS is the run's wall-clock duration.
+	ElapsedNS int64
+	// ShardDurationsNS is each shard's wall-clock duration, in completion
+	// order; the service layer feeds its latency histogram from it.
+	ShardDurationsNS []int64
 }
 
 // CoordinatorOption configures a Coordinator.
@@ -106,7 +111,9 @@ func WithCoordinatorEventSink(fn func(Event)) CoordinatorOption {
 func (c *Coordinator) Stats() CoordinatorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.ShardDurationsNS = append([]int64(nil), c.stats.ShardDurationsNS...)
+	return s
 }
 
 // specCacheable reports whether the spec's results may be cached: trace
@@ -246,7 +253,12 @@ func (c *Coordinator) Run(ctx context.Context, spec Spec) (*Result, error) {
 		jobs[i] = jobSpec[*Result]{
 			label: fmt.Sprintf("shard %d/%d", i+1, len(shards)),
 			run: func() (*Result, error) {
+				shardStart := time.Now()
 				res, runErr := (&Runner{opts: Options{Workers: 1}, sink: shardSink}).Run(ctx, sh.Spec)
+				shardNS := time.Since(shardStart).Nanoseconds()
+				c.mu.Lock()
+				c.stats.ShardDurationsNS = append(c.stats.ShardDurationsNS, shardNS)
+				c.mu.Unlock()
 				if res == nil {
 					return nil, runErr
 				}
@@ -292,6 +304,7 @@ func (c *Coordinator) Run(ctx context.Context, spec Spec) (*Result, error) {
 
 	c.mu.Lock()
 	c.stats.SimulatedPoints = simulated
+	c.stats.ElapsedNS = res.ElapsedNS
 	c.mu.Unlock()
 
 	progressMu.Lock()

@@ -13,6 +13,7 @@ import (
 	"alpha21364/internal/check"
 	"alpha21364/internal/core"
 	"alpha21364/internal/network"
+	"alpha21364/internal/obs"
 	"alpha21364/internal/router"
 	"alpha21364/internal/sim"
 	"alpha21364/internal/stats"
@@ -40,6 +41,10 @@ type Options struct {
 	// Check enables the online invariant oracle on every canned spec the
 	// options build (cmd/sweep -check).
 	Check bool
+	// Metrics enables the telemetry layer on every timing spec the options
+	// build (cmd/sweep -metrics); standalone-model specs have no router
+	// simulation to observe and are left unstamped.
+	Metrics bool
 	// Replications, when > 1, replicates every point of the canned specs
 	// with derived seeds (cmd/sweep -reps); Confidence is the interval's
 	// confidence level (0 = 0.95).
@@ -90,6 +95,9 @@ func (o Options) ApplyStudy(sp *Spec) {
 	if o.Check {
 		sp.Check = true
 	}
+	if o.Metrics && sp.Mode != ModeStandalone {
+		sp.Metrics = true
+	}
 	if o.Replications > 1 {
 		sp.Replications = o.Replications
 		if o.Confidence != 0 {
@@ -137,6 +145,13 @@ type TimingSetup struct {
 	// Checking never perturbs the simulation, so a clean checked run's
 	// results are identical to an unchecked one's.
 	Check bool
+	// Metrics enables the telemetry layer (internal/obs): per-router
+	// occupancy/stall/arbitration counters, per-link utilization, sink
+	// throughput, and a flight recorder per router (dumped by the deadlock
+	// watchdog when Check is also set). Like Check, telemetry only
+	// observes: the run's results are identical either way; the snapshot
+	// lands in TimingResult.Metrics.
+	Metrics bool
 	// EpochCycles, when positive, tracks delivered flits in epochs of that
 	// many router cycles, exposing the cyclic delivered-throughput pattern
 	// the paper describes for saturated networks (§3.4).
@@ -216,6 +231,9 @@ type TimingResult struct {
 	// of the post-warmup epochs (a saturation-oscillation measure).
 	EpochFlits    []int64
 	ThroughputCoV float64
+	// Metrics is the run's telemetry snapshot when TimingSetup.Metrics is
+	// set, nil otherwise.
+	Metrics *obs.Snapshot
 }
 
 // installChecker wires the invariant oracle over a built simulation: the
@@ -223,10 +241,17 @@ type TimingResult struct {
 // and sweeps the conservation/bounds/watchdog invariants on a periodic
 // self-rescheduling event. The sweep only reads simulation state, so an
 // uncompromised checked run stays byte-identical to an unchecked one.
-func installChecker(eng *sim.Engine, net *network.Network, gen *workload.Generator, period sim.Ticks) *check.Checker {
+func installChecker(eng *sim.Engine, net *network.Network, gen *workload.Generator, period sim.Ticks, met *obs.SimMetrics) *check.Checker {
 	routers := make([]*router.Router, net.Nodes())
 	for node := 0; node < net.Nodes(); node++ {
 		routers[node] = net.Router(topology.Node(node))
+	}
+	var rings []*obs.FlightRing
+	if met != nil {
+		rings = make([]*obs.FlightRing, len(routers))
+		for i := range routers {
+			rings[i] = &met.Flight[i]
+		}
 	}
 	chk := check.New(check.Config{RouterPeriod: period}, check.Probes{
 		Injected:          func() int64 { return net.TotalCounters().Injected },
@@ -238,6 +263,7 @@ func installChecker(eng *sim.Engine, net *network.Network, gen *workload.Generat
 		Sunk:              gen.Sunk,
 		Stop:              eng.Stop,
 		Routers:           routers,
+		FlightRings:       rings,
 	})
 	for _, r := range routers {
 		r.SetOracle(chk)
@@ -316,9 +342,19 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 	}
 	gen := workload.New(wcfg, net, eng, col)
 	eng.AddClock(rcfg.RouterPeriod, 0, gen)
+	var met *obs.SimMetrics
+	if s.Metrics {
+		met = obs.NewSimMetrics(net.Nodes(), net.NumLinks())
+		for node := 0; node < net.Nodes(); node++ {
+			r := net.Router(topology.Node(node))
+			r.SetMetrics(&met.Routers[node])
+			r.SetFlight(&met.Flight[node])
+		}
+		net.SetMetrics(&met.Network)
+	}
 	var chk *check.Checker
 	if s.Check {
-		chk = installChecker(eng, net, gen, rcfg.RouterPeriod)
+		chk = installChecker(eng, net, gen, rcfg.RouterPeriod, met)
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -375,6 +411,10 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 		// The last epoch may be partial (deliveries in flight at the end of
 		// the run); exclude it from the oscillation measure.
 		res.ThroughputCoV = epochs.CoefficientOfVariation(warmEpochs, len(res.EpochFlits)-1)
+	}
+	if met != nil {
+		met.Flush(end)
+		res.Metrics = met.Snapshot(s.Kind.String(), end)
 	}
 	return res, nil
 }

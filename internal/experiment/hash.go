@@ -13,6 +13,11 @@ package experiment
 //   - Name titles tables and progress labels, never measurements;
 //   - Check is observation-only by contract (a checked run is
 //     byte-identical to an unchecked one, test-enforced since PR 5);
+//   - Metrics, by contrast, is INCLUDED: telemetry never perturbs the
+//     measured numbers, but the snapshots ride inside each ResultPoint,
+//     so a metrics-enabled run's bytes differ — a cached metric-laden
+//     point must never be served to a run that did not ask for metrics,
+//     nor a bare point to one that did;
 //   - Workload.RecordTo captures a side-effect trace without changing
 //     the run (and record/replay specs bypass the cache anyway, because
 //     a path does not content-address the trace behind it);

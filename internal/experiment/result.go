@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"alpha21364/internal/obs"
 	"alpha21364/internal/stats"
 )
 
@@ -95,6 +96,10 @@ type ResultPoint struct {
 	OfferedPerCycle float64 `json:"offered_per_cycle,omitempty"`
 	DroppedPerCycle float64 `json:"dropped_per_cycle,omitempty"`
 	MeanQueueLen    float64 `json:"mean_queue_len,omitempty"`
+
+	// Metrics is the run's telemetry snapshot (Spec.Metrics); nil when
+	// telemetry is disabled.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // timingPoint converts a TimingResult to the Result schema.
@@ -113,6 +118,7 @@ func timingPoint(r TimingResult) ResultPoint {
 		MeanHops:      r.MeanHops,
 		EpochFlits:    r.EpochFlits,
 		ThroughputCoV: r.ThroughputCoV,
+		Metrics:       r.Metrics,
 	}
 }
 

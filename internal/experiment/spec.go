@@ -73,6 +73,16 @@ type Spec struct {
 	// connection matrix and matching. Checking never changes simulation
 	// results — a clean checked run measures exactly the same numbers.
 	Check bool `json:"check,omitempty"`
+	// Metrics enables the telemetry layer (internal/obs) on every timing
+	// simulation of the run: per-router occupancy/stall/arbitration
+	// counters, per-link utilization, and sink throughput, snapshotted
+	// into each ResultPoint.Metrics. Telemetry is observation-only — a
+	// metrics-enabled run measures exactly the same numbers — but unlike
+	// Check it changes the Result bytes (the snapshots ride along), so it
+	// participates in the spec hash: cached metric-laden points are never
+	// served to a run that did not ask for them, or vice versa. Timing
+	// mode only; the standalone model has no router simulation to observe.
+	Metrics bool `json:"metrics,omitempty"`
 
 	// Topology, Workload, and Timing describe timing-mode runs; they must
 	// be nil in standalone mode.
@@ -307,6 +317,12 @@ func WithCheck() SpecOption {
 	return func(s *Spec) { s.Check = true }
 }
 
+// WithMetrics enables the telemetry layer for every timing simulation;
+// each ResultPoint carries its obs.Snapshot.
+func WithMetrics() SpecOption {
+	return func(s *Spec) { s.Metrics = true }
+}
+
 // WithStandaloneSweep switches the spec to standalone mode with the given
 // axis and values.
 func WithStandaloneSweep(axis string, values ...float64) SpecOption {
@@ -496,6 +512,9 @@ func (s Spec) validateTiming() error {
 func (s Spec) validateStandalone() error {
 	if s.Topology != nil || s.Workload != nil || s.Timing != nil {
 		return specErr("timing sections are set on a standalone spec")
+	}
+	if s.Metrics {
+		return specErr("metrics requires a timing spec (the standalone model has no routers to observe)")
 	}
 	sa := s.Standalone
 	if sa == nil {
@@ -698,6 +717,7 @@ func (s Spec) expandTiming() (*plan, error) {
 		EpochCycles:    s.Timing.EpochCycles,
 		Seed:           s.Timing.Seed,
 		Check:          s.Check,
+		Metrics:        s.Metrics,
 	}
 	if w.ReplayFrom != "" {
 		for _, name := range s.Arbiters {

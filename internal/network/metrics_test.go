@@ -1,0 +1,69 @@
+package network
+
+import (
+	"testing"
+
+	"alpha21364/internal/core"
+	"alpha21364/internal/obs"
+	"alpha21364/internal/packet"
+	"alpha21364/internal/ports"
+)
+
+// TestNetworkMetricsCountLinkTraffic checks the link and sink hooks: one
+// two-hop packet crosses two links and is delivered once, and the busy
+// time charged per link is flits x link period.
+func TestNetworkMetricsCountLinkTraffic(t *testing.T) {
+	net, eng, col := build(t, core.KindSPAABase, 4, 4)
+	var m obs.NetworkMetrics
+	net.SetMetrics(&m)
+	if len(m.Links) != net.NumLinks() {
+		t.Fatalf("SetMetrics sized Links to %d, want %d", len(m.Links), net.NumLinks())
+	}
+
+	p := packet.New(1, packet.Request, 0, 5, 0) // (0,0) -> (1,1): two hops
+	eng.Schedule(0, func() {
+		if !net.Inject(p, 0, ports.InCache, 0) {
+			t.Fatal("injection failed on empty network")
+		}
+	})
+	eng.Run(10000)
+	if col.Packets() != 1 {
+		t.Fatalf("delivered %d packets, want 1", col.Packets())
+	}
+
+	var pkts, flits, busy int64
+	for i := range m.Links {
+		pkts += m.Links[i].Packets
+		flits += m.Links[i].Flits
+		busy += m.Links[i].BusyTicks
+	}
+	wantFlits := int64(2 * p.Flits)
+	if pkts != 2 || flits != wantFlits {
+		t.Errorf("link traffic = %d packets / %d flits, want 2 / %d", pkts, flits, wantFlits)
+	}
+	if want := wantFlits * int64(net.cfg.Router.LinkPeriod); busy != want {
+		t.Errorf("link busy = %d ticks, want %d", busy, want)
+	}
+	if m.Delivered != 1 || m.DeliveredFlits != int64(p.Flits) {
+		t.Errorf("sink = %d packets / %d flits, want 1 / %d", m.Delivered, m.DeliveredFlits, p.Flits)
+	}
+}
+
+// TestNetworkMetricsSelfAddressedSkipsLinks checks a packet consumed at
+// its source never touches the link counters.
+func TestNetworkMetricsSelfAddressedSkipsLinks(t *testing.T) {
+	net, eng, _ := build(t, core.KindSPAABase, 4, 4)
+	var m obs.NetworkMetrics
+	net.SetMetrics(&m)
+	p := packet.New(1, packet.Request, 3, 3, 0)
+	eng.Schedule(0, func() { net.Inject(p, 3, ports.InCache, 0) })
+	eng.Run(10000)
+	for i := range m.Links {
+		if m.Links[i].Packets != 0 {
+			t.Fatalf("link %d saw traffic for a self-addressed packet", i)
+		}
+	}
+	if m.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", m.Delivered)
+	}
+}

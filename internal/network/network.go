@@ -7,6 +7,7 @@ package network
 import (
 	"fmt"
 
+	"alpha21364/internal/obs"
 	"alpha21364/internal/packet"
 	"alpha21364/internal/ports"
 	"alpha21364/internal/router"
@@ -41,6 +42,11 @@ type Network struct {
 	// linkFlight counts packets dispatched onto a link but not yet
 	// committed to the neighbor's buffer (conservation accounting).
 	linkFlight int64
+	// metrics, when non-nil, receives link and sink telemetry (nil-checked
+	// on the hot path, exactly like the router's hooks); linkBusyPerFlit
+	// is the wire serialization time per flit it charges.
+	metrics         *obs.NetworkMetrics
+	linkBusyPerFlit sim.Ticks
 }
 
 // link is one directed inter-router wire. Its receive-side handler is
@@ -55,12 +61,19 @@ type link struct {
 	latency  sim.Ticks
 	credits  *vc.Credits // the sending output port's pool
 	h        sim.HandlerID
+	idx      int // index into the network's per-link metrics
 }
 
 // send implements router.SendFunc for the link.
 func (l *link) send(p *packet.Packet, targetCh vc.Channel, headerDepart sim.Ticks, creditHome *vc.Credits) {
 	arriveAt := headerDepart + l.latency
 	l.n.linkFlight++
+	if m := l.n.metrics; m != nil {
+		lm := &m.Links[l.idx]
+		lm.Packets++
+		lm.Flits += int64(p.Flits)
+		lm.BusyTicks += int64(p.Flits) * int64(l.n.linkBusyPerFlit)
+	}
 	if creditHome == l.credits {
 		l.n.eng.Post(arriveAt, l.h, sim.EventArgs{A: int64(arriveAt), B: int64(targetCh), P: p})
 		return
@@ -108,6 +121,7 @@ func New(cfg Config, eng *sim.Engine, collector *stats.Collector) (*Network, err
 				neighbor: n.routers[torus.Neighbor(topology.Node(node), d)],
 				in:       ports.InFromDir(d.Opposite()),
 				latency:  linkLatency,
+				idx:      node*int(topology.NumDirs) + int(d),
 			}
 			l.h = eng.RegisterHandler(l.arrive)
 			r.ConnectNetwork(out, l.send)
@@ -140,6 +154,10 @@ func (n *Network) deliverEvent(args sim.EventArgs) {
 	p := args.P.(*packet.Packet)
 	at := sim.Ticks(args.A)
 	n.collector.Delivered(p, at)
+	if m := n.metrics; m != nil {
+		m.Delivered++
+		m.DeliveredFlits += int64(p.Flits)
+	}
 	if n.onDeliver != nil {
 		n.onDeliver(p, at)
 	}
@@ -173,6 +191,21 @@ func (n *Network) Inject(p *packet.Packet, node topology.Node, in ports.In, now 
 // links but not yet committed to the neighbor's buffer; the invariant
 // oracle's conservation check uses it.
 func (n *Network) LinkFlight() int64 { return n.linkFlight }
+
+// NumLinks returns the number of directed inter-router links (four per
+// router) — the size SetMetrics expects m.Links to have.
+func (n *Network) NumLinks() int { return len(n.routers) * int(topology.NumDirs) }
+
+// SetMetrics installs the network-level telemetry block, sizing its
+// per-link slice if needed (this is install-time, not hot-path). Pass
+// nil to disable.
+func (n *Network) SetMetrics(m *obs.NetworkMetrics) {
+	if m != nil && len(m.Links) != n.NumLinks() {
+		m.Links = make([]obs.LinkMetrics, n.NumLinks())
+	}
+	n.metrics = m
+	n.linkBusyPerFlit = n.cfg.Router.LinkPeriod
+}
 
 // Buffered returns the total packets buffered across all routers.
 func (n *Network) Buffered() int {

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+
+	"alpha21364/internal/ports"
+	"alpha21364/internal/sim"
+	"alpha21364/internal/vc"
+)
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind uint8
+
+const (
+	// FlightInject: a packet entered the router from the local port.
+	FlightInject FlightKind = iota
+	// FlightArrive: a packet's header arrived from an inter-router link.
+	FlightArrive
+	// FlightNominate: the router nominated a buffered packet for arbitration.
+	FlightNominate
+	// FlightGrant: arbitration granted the packet an output; it left the
+	// input ring and began crossing the crossbar.
+	FlightGrant
+	// FlightReset: a nomination was invalidated or lost arbitration; the
+	// packet returned to the buffered state.
+	FlightReset
+)
+
+var flightKindNames = [...]string{
+	FlightInject:   "inject",
+	FlightArrive:   "arrive",
+	FlightNominate: "nominate",
+	FlightGrant:    "grant",
+	FlightReset:    "reset",
+}
+
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return fmt.Sprintf("FlightKind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its lowercase name.
+func (k FlightKind) MarshalJSON() ([]byte, error) {
+	if int(k) >= len(flightKindNames) {
+		return nil, fmt.Errorf("obs: unknown flight kind %d", uint8(k))
+	}
+	return []byte(`"` + flightKindNames[k] + `"`), nil
+}
+
+// UnmarshalJSON decodes a quoted kind name.
+func (k *FlightKind) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return fmt.Errorf("obs: flight kind must be a string, got %s", s)
+	}
+	s = s[1 : len(s)-1]
+	for i, name := range flightKindNames {
+		if name == s {
+			*k = FlightKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown flight kind %q", s)
+}
+
+// FlightEvent is one flight-recorder entry: what happened to which
+// packet, where in the router, and when. Out is only meaningful for
+// grant events (ports.NumOut — the "no port" sentinel — otherwise).
+type FlightEvent struct {
+	At     sim.Ticks  `json:"at"`
+	Kind   FlightKind `json:"kind"`
+	Packet uint64     `json:"packet"`
+	In     ports.In   `json:"in"`
+	Ch     vc.Channel `json:"ch"`
+	Out    ports.Out  `json:"out"`
+}
+
+// FlightRing is a fixed-size ring of a router's most recent engine
+// events. Record overwrites the oldest entry and never allocates, so
+// the recorder can stay on during long runs; when the deadlock watchdog
+// fires, the ring holds the last-N-cycles trace for the stuck router.
+type FlightRing struct {
+	buf  []FlightEvent
+	head uint64
+}
+
+// NewFlightRing allocates a ring holding the most recent depth events.
+func NewFlightRing(depth int) *FlightRing {
+	r := &FlightRing{}
+	r.init(depth)
+	return r
+}
+
+func (r *FlightRing) init(depth int) {
+	if depth <= 0 {
+		panic("obs: flight ring depth must be positive")
+	}
+	r.buf = make([]FlightEvent, depth)
+	r.head = 0
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *FlightRing) Record(at sim.Ticks, kind FlightKind, packet uint64, in ports.In, ch vc.Channel, out ports.Out) {
+	r.buf[r.head%uint64(len(r.buf))] = FlightEvent{
+		At: at, Kind: kind, Packet: packet, In: in, Ch: ch, Out: out,
+	}
+	r.head++
+}
+
+// Len returns the number of events currently held (≤ Depth).
+func (r *FlightRing) Len() int {
+	if r.head < uint64(len(r.buf)) {
+		return int(r.head)
+	}
+	return len(r.buf)
+}
+
+// Depth returns the ring's capacity.
+func (r *FlightRing) Depth() int { return len(r.buf) }
+
+// Events returns the held events oldest-first.
+func (r *FlightRing) Events() []FlightEvent {
+	n := r.Len()
+	out := make([]FlightEvent, n)
+	start := r.head - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+uint64(i))%uint64(len(r.buf))]
+	}
+	return out
+}
+
+// FlightDump is one router's serialized flight-recorder contents, as
+// embedded in a watchdog Violation's trace.
+type FlightDump struct {
+	Node   int           `json:"node"`
+	Events []FlightEvent `json:"events"`
+}
+
+// Dump snapshots the ring for node into the serializable form.
+func (r *FlightRing) Dump(node int) FlightDump {
+	return FlightDump{Node: node, Events: r.Events()}
+}

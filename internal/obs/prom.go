@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format 0.0.4 by hand —
+// the repo takes no client-library dependency for what is a dozen lines
+// of formatting. Errors are sticky: check Err once after writing.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Family writes the # HELP and # TYPE header for a metric family.
+// typ is "counter", "gauge", or "histogram".
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP " + name + " " + escapeHelp(help) + "\n# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample writes one sample line. labels are alternating key, value
+// pairs; values are escaped per the exposition format.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	var b strings.Builder
+	b.WriteString(name)
+	writeLabels(&b, labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+	p.printf(b.String())
+}
+
+// Histo writes a full histogram family: header, cumulative _bucket
+// series (including +Inf), _sum, and _count.
+func (p *PromWriter) Histo(name, help string, h *Histogram, labels ...string) {
+	p.Family(name, "histogram", help)
+	bounds := h.Bounds()
+	cum := h.Cumulative()
+	for i, le := range bounds {
+		p.Sample(name+"_bucket", float64(cum[i]), append(append([]string(nil), labels...), "le", formatValue(le))...)
+	}
+	p.Sample(name+"_bucket", float64(cum[len(cum)-1]), append(append([]string(nil), labels...), "le", "+Inf")...)
+	p.Sample(name+"_sum", h.Sum(), labels...)
+	p.Sample(name+"_count", float64(h.Count()), labels...)
+}
+
+func writeLabels(b *strings.Builder, labels []string) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,98 @@
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collectLogf returns a logf that appends each formatted line, so tests
+// can assert on the "wrote ..." diagnostics.
+func collectLogf(lines *[]string) func(string, ...any) {
+	return func(format string, args ...any) {
+		*lines = append(*lines, fmt.Sprintf(format, args...))
+	}
+}
+
+func TestStartNoProfilesIsNoop(t *testing.T) {
+	var lines []string
+	stop, err := Start("", "", collectLogf(&lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if len(lines) != 0 {
+		t.Errorf("no-op profiling logged %v", lines)
+	}
+}
+
+func TestStartWritesCPUAndHeapProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "heap.pprof")
+	var lines []string
+	stop, err := Start(cpu, mem, collectLogf(&lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	sum := 0
+	for i := 0; i < 1_000_000; i++ {
+		sum += i * i
+	}
+	_ = sum
+	stop()
+
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	if len(lines) != 2 {
+		t.Errorf("want 2 log lines (CPU + heap), got %v", lines)
+	}
+}
+
+func TestStartHeapOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "heap.pprof")
+	var lines []string
+	stop, err := Start("", mem, collectLogf(&lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if len(lines) != 1 {
+		t.Errorf("want 1 log line, got %v", lines)
+	}
+}
+
+func TestStartUncreatableCPUFileFails(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof")
+	if _, err := Start(bad, "", func(string, ...any) {}); err == nil {
+		t.Fatal("uncreatable CPU profile path did not fail")
+	}
+}
+
+func TestStopReportsUnwritableHeapPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "heap.pprof")
+	var lines []string
+	stop, err := Start("", bad, func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if len(lines) != 1 || !strings.Contains(lines[0], "memprofile") {
+		t.Errorf("unwritable heap path not reported: %v", lines)
+	}
+}

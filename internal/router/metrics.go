@@ -1,0 +1,45 @@
+package router
+
+import (
+	"alpha21364/internal/core"
+	"alpha21364/internal/obs"
+	"alpha21364/internal/sim"
+)
+
+// Telemetry hooks, wired exactly like the invariant oracle (oracle.go):
+// the router holds nil pointers by default, and every hot-path hook is a
+// single nil test. With metrics installed, each event is a handful of
+// int64 field writes on a preallocated struct — no allocation, no
+// interface dispatch beyond the (already present) grant-policy call, and
+// no effect on simulation state, so metrics-enabled runs produce
+// byte-identical Results (test-enforced in internal/experiment).
+
+// SetMetrics installs the router's preallocated counter block. It also
+// wraps the arbitration core (grant policy or matrix arbiter) with the
+// observation-only instrumented variant from internal/core, so install
+// before the first Tick and do not install twice.
+func (r *Router) SetMetrics(m *obs.RouterMetrics) {
+	r.metrics = m
+	if m == nil {
+		return
+	}
+	if r.policy != nil {
+		r.policy = core.InstrumentPolicy(r.policy, &m.Arb)
+	}
+	if r.arb != nil {
+		r.arb = core.InstrumentArbiter(r.arb, &m.Arb)
+	}
+}
+
+// SetFlight installs the router's flight recorder: a fixed ring of
+// recent engine events the deadlock watchdog dumps alongside its
+// Violation. Pass nil to disable.
+func (r *Router) SetFlight(f *obs.FlightRing) { r.flight = f }
+
+// FlushMetrics closes the occupancy time-integrals at time end; call
+// once when the run stops, before snapshotting.
+func (r *Router) FlushMetrics(end sim.Ticks) {
+	if r.metrics != nil {
+		r.metrics.Flush(end)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"alpha21364/internal/core"
+	"alpha21364/internal/obs"
 	"alpha21364/internal/packet"
 	"alpha21364/internal/ports"
 	"alpha21364/internal/sim"
@@ -110,6 +111,10 @@ type Router struct {
 	// online invariant checking; oracleGrants is its reused record buffer.
 	oracle       Oracle
 	oracleGrants []SPAAGrant
+
+	// metrics and flight, when non-nil, receive telemetry (see metrics.go).
+	metrics *obs.RouterMetrics
+	flight  *obs.FlightRing
 
 	// scratch
 	gaRows []int
@@ -235,6 +240,9 @@ func (r *Router) addPacket(p *packet.Packet, in ports.In, ch vc.Channel,
 	s.upstream[idx] = upstream
 	s.upstreamCh[idx] = ch
 	r.queues[in][ch].Push(idx)
+	if m := r.metrics; m != nil {
+		m.QueueDelta(in, ch, +1, headerArrive)
+	}
 }
 
 // Inject offers a packet to a local input port at time now. It returns
@@ -257,6 +265,9 @@ func (r *Router) Inject(p *packet.Packet, in ports.In, now sim.Ticks) bool {
 		now+sim.Ticks(r.cfg.PreArbLocal)*r.cfg.RouterPeriod,
 		feeder)
 	r.Counters.Injected++
+	if f := r.flight; f != nil {
+		f.Record(now, obs.FlightInject, p.ID, in, ch, ports.NumOut)
+	}
 	return true
 }
 
@@ -296,6 +307,9 @@ func (r *Router) Arrive(p *packet.Packet, in ports.In, targetCh vc.Channel,
 		headerArrive+sim.Ticks(r.cfg.PreArbNetwork)*r.cfg.RouterPeriod,
 		creditHome)
 	r.Counters.Arrived++
+	if f := r.flight; f != nil {
+		f.Record(headerArrive, obs.FlightArrive, p.ID, in, targetCh, ports.NumOut)
+	}
 }
 
 // Buffered returns the number of packets buffered at the router.
@@ -353,6 +367,9 @@ func (r *Router) tickSPAA(now sim.Ticks) {
 			local: mv.local, resolveAt: gaTick,
 		})
 		r.Counters.Nominations++
+		if f := r.flight; f != nil {
+			f.Record(now, obs.FlightNominate, r.slab.pkt[pk].ID, in, r.slab.ch[pk], mv.out)
+		}
 		if r.oracle != nil {
 			r.oracle.SPAANominate(r, now, SPAAGrant{
 				ID: r.slab.pkt[pk].ID, Row: mv.row, In: in, Ch: r.slab.ch[pk],
@@ -432,7 +449,15 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 			valid := op.freeForGrant(now, r.postArbTicks) &&
 				(n.local || (op.credits != nil && op.credits.Available(n.targetCh)))
 			if !valid {
-				r.reset(n.pk)
+				if m := r.metrics; m != nil {
+					if !op.freeForGrant(now, r.postArbTicks) {
+						m.Stalls++
+					} else {
+						m.CreditWaits++
+					}
+					m.Arb.NomFailures++
+				}
+				r.reset(n.pk, now)
 				n.pk = -1
 				continue
 			}
@@ -455,7 +480,7 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 				}
 				r.dispatch(n.pk, n.out, n.targetCh, n.local, now)
 			} else {
-				r.reset(n.pk)
+				r.reset(n.pk, now)
 				r.Counters.WastedSpecReads++
 			}
 			n.pk = -1
@@ -472,9 +497,12 @@ func (r *Router) resolveSPAA(due []nomination, now sim.Ticks) {
 	}
 }
 
-func (r *Router) reset(pk int32) {
+func (r *Router) reset(pk int32, now sim.Ticks) {
 	r.slab.flags[pk] &^= pkNominated
 	r.Counters.Collisions++
+	if f := r.flight; f != nil {
+		f.Record(now, obs.FlightReset, r.slab.pkt[pk].ID, r.slab.in[pk], r.slab.ch[pk], ports.NumOut)
+	}
 }
 
 // ---- PIM1/WFA wave pipeline ----
@@ -551,8 +579,12 @@ func (r *Router) buildWave(now sim.Ticks) bool {
 	for row := 0; row < ports.NumRows; row++ {
 		for col := 0; col < int(ports.NumOut); col++ {
 			if r.matrix.At(row, col).Valid {
-				s.flags[r.waveCells[row][col].pk] |= pkNominated
+				pk := r.waveCells[row][col].pk
+				s.flags[pk] |= pkNominated
 				r.Counters.Nominations++
+				if f := r.flight; f != nil {
+					f.Record(now, obs.FlightNominate, s.pkt[pk].ID, s.in[pk], s.ch[pk], ports.Out(col))
+				}
 			}
 		}
 	}
@@ -600,6 +632,14 @@ func (r *Router) resolveWave(now sim.Ticks) {
 		valid := op.freeForGrant(now, r.postArbTicks) &&
 			(cell.local || (op.credits != nil && op.credits.Available(cell.targetCh)))
 		if !valid || cell.pk < 0 || r.slab.flags[cell.pk]&pkNominated == 0 {
+			if m := r.metrics; m != nil && !valid && cell.pk >= 0 {
+				if !op.freeForGrant(now, r.postArbTicks) {
+					m.Stalls++
+				} else {
+					m.CreditWaits++
+				}
+				m.Arb.NomFailures++
+			}
 			continue
 		}
 		r.dispatch(cell.pk, ports.Out(g.Col), cell.targetCh, cell.local, now)
@@ -611,7 +651,7 @@ func (r *Router) resolveWave(now sim.Ticks) {
 				continue
 			}
 			if pk := r.waveCells[row][col].pk; pk >= 0 && r.slab.flags[pk]&pkNominated != 0 {
-				r.reset(pk)
+				r.reset(pk, now)
 			}
 			r.waveCells[row][col] = waveCell{pk: -1}
 		}
@@ -665,6 +705,9 @@ func (r *Router) dispatch(pk int32, out ports.Out, targetCh vc.Channel, local bo
 	if !r.queues[in][ch].Remove(pk) {
 		panic("router: removing packet not in queue")
 	}
+	if m := r.metrics; m != nil {
+		m.QueueDelta(in, ch, -1, now)
+	}
 	if s.flags[pk]&pkOld != 0 {
 		s.flags[pk] &^= pkOld
 		r.oldCount--
@@ -679,6 +722,9 @@ func (r *Router) dispatch(pk int32, out ports.Out, targetCh vc.Channel, local bo
 	p := s.pkt[pk]
 	tailArrive := s.tailArrive[pk]
 	r.slab.release(pk)
+	if f := r.flight; f != nil {
+		f.Record(now, obs.FlightGrant, p.ID, in, ch, out)
+	}
 
 	op := r.outputs[out]
 	headerDepart := now + r.postArbTicks
