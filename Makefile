@@ -20,7 +20,9 @@ race:
 # slab/rings, and the workload injection queues — plus the oracle and
 # telemetry hook paths (invariant checker, obs counters/flight rings,
 # replicated/checked/instrumented Runner fan-outs, and the daemon's
-# shared metrics under concurrent scrapes).
+# shared metrics under concurrent scrapes), and the fleet dispatch paths
+# (heartbeats racing the dispatcher's liveness flips, the daemon's shard
+# semaphore and drain flag under concurrent requests).
 race-pools:
 	$(GO) test -race -count=1 \
 		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
@@ -28,7 +30,8 @@ race-pools:
 	$(GO) test -race -count=1 ./internal/check ./internal/obs
 	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches|Metrics' ./internal/experiment
 	$(GO) test -race -count=1 -run 'Metrics|Flight' ./internal/router
-	$(GO) test -race -count=1 -run 'Metrics|Pprof' ./cmd/sweepd
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -race -count=1 -run 'Metrics|Pprof|Shard|Drain|Healthz|BodyLimit' ./cmd/sweepd
 
 # cover writes the atomic-mode coverage profile for the whole module.
 cover:

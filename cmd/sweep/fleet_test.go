@@ -1,0 +1,118 @@
+package main
+
+// fleet_test.go drives the -fleet flag end to end against an in-test
+// worker speaking the sweepd /shard protocol: the fleet-dispatched
+// stdout must be byte-identical to the in-process run, flaky worker
+// included.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"alpha21364/internal/experiment"
+)
+
+// fleetWorker serves /healthz and /shard the way sweepd does; failFirst
+// makes the first shard request die after a flush-less 500, exercising
+// the retry path.
+func fleetWorker(t *testing.T, failFirst bool) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /shard", func(w http.ResponseWriter, r *http.Request) {
+		if failFirst && n.Add(1) == 1 {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp, err := experiment.ParseSpec(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := experiment.NewRunner(experiment.WithWorkers(1)).Run(r.Context(), sp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := res.EncodeJSONL(w); err != nil {
+			t.Logf("encode: %v", err)
+		}
+	})
+	return httptest.NewServer(mux)
+}
+
+var fleetMatrixArgs = []string{
+	"-matrix", "-algos", "PIM1", "-patterns", "random", "-processes", "bernoulli",
+	"-rates", "0.02,0.04", "-size", "4x4", "-cycles", "300", "-json", "-stable",
+}
+
+// TestFleetFlagMatchesInProcess runs the same matrix with and without
+// -fleet and requires byte-identical stdout.
+func TestFleetFlagMatchesInProcess(t *testing.T) {
+	var mono, fleeted, stderr bytes.Buffer
+	if err := run(append([]string{}, fleetMatrixArgs...), &mono, &stderr); err != nil {
+		t.Fatalf("in-process run: %v\n%s", err, stderr.String())
+	}
+
+	srv := fleetWorker(t, false)
+	defer srv.Close()
+	stderr.Reset()
+	args := append([]string{"-fleet", strings.TrimPrefix(srv.URL, "http://")}, fleetMatrixArgs...)
+	if err := run(args, &fleeted, &stderr); err != nil {
+		t.Fatalf("fleet run: %v\n%s", err, stderr.String())
+	}
+	if mono.String() != fleeted.String() {
+		t.Errorf("-fleet output diverges from in-process output:\nfleet:\n%s\nmono:\n%s",
+			fleeted.String(), mono.String())
+	}
+	if !strings.Contains(stderr.String(), "fleet:") {
+		t.Errorf("fleet run never logged its dispatch stats:\n%s", stderr.String())
+	}
+}
+
+// TestFleetFlagRetriesFailedWorker injects a 500 on the first shard and
+// still demands byte-identity — the retry must be invisible in the
+// output.
+func TestFleetFlagRetriesFailedWorker(t *testing.T) {
+	var mono, fleeted, stderr bytes.Buffer
+	if err := run(append([]string{}, fleetMatrixArgs...), &mono, &stderr); err != nil {
+		t.Fatalf("in-process run: %v\n%s", err, stderr.String())
+	}
+
+	srv := fleetWorker(t, true)
+	defer srv.Close()
+	stderr.Reset()
+	args := append([]string{"-fleet", srv.URL, "-fleet-retries", "3", "-fleet-timeout", "30s"}, fleetMatrixArgs...)
+	if err := run(args, &fleeted, &stderr); err != nil {
+		t.Fatalf("fleet run with flaky worker: %v\n%s", err, stderr.String())
+	}
+	if mono.String() != fleeted.String() {
+		t.Error("-fleet output diverges from in-process output after a retried failure")
+	}
+	if !strings.Contains(stderr.String(), "1 retried") {
+		t.Errorf("expected exactly one retried shard in the stats:\n%s", stderr.String())
+	}
+}
+
+// TestFleetFlagRejectsBadAddress pins the fail-fast on an unparseable
+// worker address.
+func TestFleetFlagRejectsBadAddress(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-fleet", "ftp://nope"}, fleetMatrixArgs...)
+	if err := run(args, &stdout, &stderr); err == nil {
+		t.Error("a bad -fleet address was accepted")
+	}
+}

@@ -117,6 +117,7 @@ var ruleSamples = map[string]string{
 	"json": "true", "workers": "2", "progress": "true", "list": "true",
 	"cache-dir": "cachedir", "shards": "4", "bench-baseline": "BENCH.json",
 	"resume": "true", "metrics": "true", "stable": "true",
+	"fleet": "127.0.0.1:9", "fleet-timeout": "2m", "fleet-retries": "2",
 }
 
 func sampleArg(t *testing.T, name string) string {

@@ -34,15 +34,15 @@ func smallSpecJSON(t *testing.T) []byte {
 
 func testService(t *testing.T, dir string) *service {
 	t.Helper()
-	svc := &service{workers: 1, log: log.New(io.Discard, "", 0), metrics: newDaemonMetrics()}
+	var store *cache.Store
 	if dir != "" {
-		store, err := cache.Open(dir)
+		var err error
+		store, err = cache.Open(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc.store = store
 	}
-	return svc
+	return newService(store, 0, 1, 0, log.New(io.Discard, "", 0))
 }
 
 // TestStdinStreamsResults feeds a good spec, a broken one, and a second

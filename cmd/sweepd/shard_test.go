@@ -1,0 +1,216 @@
+package main
+
+// shard_test.go covers the daemon's fleet-worker surface: POST /shard
+// execution and saturation, the /healthz readiness document, the
+// draining state a SIGTERM flips on, and the request-body bounds shared
+// with /run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"alpha21364/internal/experiment"
+)
+
+// TestShardEndpointStreamsResult posts a shard-sized spec to /shard and
+// checks the response is the complete Result JSONL stream, with the
+// fleet counters moving.
+func TestShardEndpointStreamsResult(t *testing.T) {
+	svc := testService(t, "")
+	srv := httptest.NewServer(svc.handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/shard", "application/json", bytes.NewReader(smallSpecJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/shard: status %d err %v\n%s", resp.StatusCode, err, body)
+	}
+	res, err := experiment.DecodeResultJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/shard response is not a Result stream: %v\n%s", err, body)
+	}
+	if res.Partial || len(res.Series) != 1 || len(res.Series[0].Points) != 1 {
+		t.Fatalf("unexpected shard result shape: partial=%v series=%d", res.Partial, len(res.Series))
+	}
+
+	got := scrape(t, srv.URL)
+	if got["sweepd_fleet_shards_total"] != 1 {
+		t.Errorf("fleet_shards_total = %g, want 1", got["sweepd_fleet_shards_total"])
+	}
+	if got["sweepd_fleet_shard_errors_total"] != 0 || got["sweepd_fleet_shard_busy_total"] != 0 {
+		t.Errorf("error/busy counters moved on a clean shard: %g / %g",
+			got["sweepd_fleet_shard_errors_total"], got["sweepd_fleet_shard_busy_total"])
+	}
+	if got["sweepd_fleet_inflight_shards"] != 0 {
+		t.Errorf("inflight gauge = %g after completion, want 0", got["sweepd_fleet_inflight_shards"])
+	}
+}
+
+// TestShardMatchesRunBytes pins the worker contract the fleet merge
+// relies on: /shard and /run produce the same Result stream for the
+// same spec (modulo the volatile elapsed field).
+func TestShardMatchesRunBytes(t *testing.T) {
+	srv := httptest.NewServer(testService(t, "").handler())
+	defer srv.Close()
+
+	fetch := func(path string) string {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(smallSpecJSON(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d err %v", path, resp.StatusCode, err)
+		}
+		res, err := experiment.DecodeResultJSONL(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		experiment.StripVolatile(res)
+		var buf bytes.Buffer
+		if err := res.EncodeJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if fetch("/shard") != fetch("/run") {
+		t.Error("/shard and /run streams diverge for the same spec")
+	}
+}
+
+// TestShardSaturationAnswers503 fills the shard semaphore and checks the
+// overflow request is refused — counted, not queued.
+func TestShardSaturationAnswers503(t *testing.T) {
+	svc := testService(t, "")
+	// Occupy every slot by hand; the handler's non-blocking acquire must
+	// then refuse immediately.
+	for i := 0; i < cap(svc.shardSem); i++ {
+		svc.shardSem <- struct{}{}
+	}
+	srv := httptest.NewServer(svc.handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/shard", "application/json", bytes.NewReader(smallSpecJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /shard: got %d, want 503", resp.StatusCode)
+	}
+	if got := scrape(t, srv.URL); got["sweepd_fleet_shard_busy_total"] != 1 {
+		t.Errorf("fleet_shard_busy_total = %g, want 1", got["sweepd_fleet_shard_busy_total"])
+	}
+}
+
+// TestShardBadSpecCounted checks an undecodable shard body is a 400 and
+// lands in the error counters without starting an execution.
+func TestShardBadSpecCounted(t *testing.T) {
+	svc := testService(t, "")
+	srv := httptest.NewServer(svc.handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/shard", "application/json", strings.NewReader(`{"version": 99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard spec: got %d, want 400", resp.StatusCode)
+	}
+	if got := scrape(t, srv.URL); got["sweepd_fleet_shards_total"] != 0 {
+		t.Errorf("fleet_shards_total = %g after a rejected body, want 0", got["sweepd_fleet_shards_total"])
+	}
+}
+
+// TestBodyLimitAnswers413 sends an oversized document to both spec
+// endpoints; MaxBytesReader must cut it off with 413.
+func TestBodyLimitAnswers413(t *testing.T) {
+	srv := httptest.NewServer(testService(t, "").handler())
+	defer srv.Close()
+
+	huge := bytes.Repeat([]byte("x"), maxSpecBytes+2)
+	for _, path := range []string{"/run", "/shard"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with oversized body: got %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzReadinessDocument checks the JSON detail while healthy and
+// the 503 flip while draining — the exact contract fleet heartbeats
+// probe.
+func TestHealthzReadinessDocument(t *testing.T) {
+	svc := testService(t, "")
+	srv := httptest.NewServer(svc.handler())
+	defer srv.Close()
+
+	get := func() (int, healthStatus) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st healthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("healthz is not a JSON document: %v", err)
+		}
+		return resp.StatusCode, st
+	}
+
+	code, st := get()
+	if code != http.StatusOK || st.Status != "ok" {
+		t.Fatalf("healthy /healthz: %d %q, want 200 ok", code, st.Status)
+	}
+	if st.Version != daemonVersion {
+		t.Errorf("version = %q, want %q", st.Version, daemonVersion)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Errorf("uptime = %g, want >= 0", st.UptimeSeconds)
+	}
+	if st.InflightShards != 0 {
+		t.Errorf("inflight = %d, want 0", st.InflightShards)
+	}
+
+	svc.draining.Store(true)
+	code, st = get()
+	if code != http.StatusServiceUnavailable || st.Status != "draining" {
+		t.Errorf("draining /healthz: %d %q, want 503 draining", code, st.Status)
+	}
+}
+
+// TestDrainingRefusesNewWork flips the drain flag and checks both spec
+// endpoints refuse with 503 while /metrics stays scrapeable.
+func TestDrainingRefusesNewWork(t *testing.T) {
+	svc := testService(t, "")
+	svc.draining.Store(true)
+	srv := httptest.NewServer(svc.handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/run", "/shard"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(smallSpecJSON(t)))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining %s: got %d, want 503", path, resp.StatusCode)
+		}
+	}
+	scrape(t, srv.URL) // still serves metrics while draining
+}

@@ -1,0 +1,172 @@
+package experiment
+
+// executor_test.go pins the seams PR 8 carved for the worker fleet: the
+// ShardExecutor attempt accounting on the Coordinator, Shard.Tail's
+// "re-run only the missing suffix" re-planning, and the incremental
+// ResultDecoder's salvage behavior on truncated and error-bearing
+// streams.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func tailTestSpec() Spec {
+	return NewSpec(
+		WithName("tail test"),
+		WithTopology(4, 4),
+		WithArbiters("PIM1"),
+		WithPatterns("random"),
+		WithRates(0.02, 0.04, 0.06),
+		WithCycles(300),
+		WithSeed(6),
+	)
+}
+
+// TestShardTailReplansSuffix checks Tail's shape contract: the sub-shard
+// covers exactly the remaining cells, and running it reproduces the
+// exact points the whole shard's suffix would hold.
+func TestShardTailReplansSuffix(t *testing.T) {
+	shards, err := PlanShards(tailTestSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := shards[0]
+	if len(sh.Cells) != 3 {
+		t.Fatalf("plan gave %d cells, want 3", len(sh.Cells))
+	}
+
+	tail := sh.Tail(1)
+	if len(tail.Cells) != 2 || tail.Cells[0] != sh.Cells[1] || tail.Cells[1] != sh.Cells[2] {
+		t.Fatalf("Tail(1).Cells = %v, want %v", tail.Cells, sh.Cells[1:])
+	}
+	if got := tail.Spec.Workload.Rates; !reflect.DeepEqual(got, []float64{0.04, 0.06}) {
+		t.Fatalf("Tail(1) rates = %v, want the last two", got)
+	}
+
+	run := func(sp Spec) []ResultPoint {
+		res, err := NewRunner(WithWorkers(1)).Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Series[0].Points
+	}
+	whole := run(sh.Spec)
+	if got := run(tail.Spec); !reflect.DeepEqual(got, whole[1:]) {
+		t.Error("tail run diverges from the whole run's suffix; prefix+tail concatenation would not be byte-identical")
+	}
+
+	if got := sh.Tail(0); !reflect.DeepEqual(got, sh) {
+		t.Error("Tail(0) must return the shard unchanged")
+	}
+	if got := sh.Tail(3); len(got.Cells) != 0 {
+		t.Errorf("Tail(len) = %d cells, want none", len(got.Cells))
+	}
+}
+
+// TestResultDecoderSalvagesTruncatedStream cuts a valid stream mid-line:
+// the decoder must surface an error while keeping every whole point
+// decoded before the cut.
+func TestResultDecoderSalvagesTruncatedStream(t *testing.T) {
+	res, err := NewRunner(WithWorkers(1)).Run(context.Background(), tailTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+	// header + series + first point + half of the second point line.
+	cut := append([]byte{}, bytes.Join(lines[:3], nil)...)
+	cut = append(cut, lines[3][:len(lines[3])/2]...)
+
+	dec := NewResultDecoder(bytes.NewReader(cut))
+	var derr error
+	for derr == nil {
+		derr = dec.Next()
+	}
+	if derr == io.EOF {
+		t.Fatal("truncated stream decoded cleanly")
+	}
+	got := dec.Result()
+	if got == nil || len(got.Series) != 1 || len(got.Series[0].Points) != 1 {
+		t.Fatalf("salvage = %+v, want exactly the one whole point", got)
+	}
+	if !reflect.DeepEqual(got.Series[0].Points[0], res.Series[0].Points[0]) {
+		t.Error("salvaged point differs from the original")
+	}
+}
+
+// TestResultDecoderSurfacesInBandError checks {"type":"error"} records
+// come back as *StreamError with the prior records intact.
+func TestResultDecoderSurfacesInBandError(t *testing.T) {
+	res, err := NewRunner(WithWorkers(1)).Run(context.Background(), tailTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"type":"error","error":"boom"}` + "\n")
+
+	dec := NewResultDecoder(&buf)
+	var derr error
+	for derr == nil {
+		derr = dec.Next()
+	}
+	var se *StreamError
+	if !errors.As(derr, &se) || se.Msg != "boom" {
+		t.Fatalf("err = %v, want a StreamError carrying %q", derr, "boom")
+	}
+	if got := dec.Result(); got == nil || len(got.Series[0].Points) != 3 {
+		t.Fatal("records before the error line were lost")
+	}
+}
+
+// retryingExec wraps the local executor, failing each shard's first
+// attempt so the Coordinator's attempt/retry counters have something to
+// count.
+type retryingExec struct{ calls map[string]int }
+
+func (e retryingExec) ExecuteShard(ctx context.Context, sh Shard, sink func(Event)) (*Result, int, error) {
+	res, _, err := localExecutor{}.ExecuteShard(ctx, sh, sink)
+	return res, 2, err // pretend every shard needed one retry
+}
+
+// TestCoordinatorCountsExecutorAttempts pins the stats plumbing: the
+// executor reports attempts per shard, the Coordinator sums attempts and
+// retries across the run.
+func TestCoordinatorCountsExecutorAttempts(t *testing.T) {
+	co := NewCoordinator(
+		WithCoordinatorWorkers(1),
+		WithShardExecutor(retryingExec{}),
+	)
+	if _, err := co.Run(context.Background(), tailTestSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st := co.Stats()
+	if st.Shards != 3 || st.ShardAttempts != 6 || st.ShardRetries != 3 {
+		t.Errorf("stats = %d shards, %d attempts, %d retries; want 3, 6, 3",
+			st.Shards, st.ShardAttempts, st.ShardRetries)
+	}
+}
+
+// TestLocalExecutorReportsSingleAttempt keeps the default path honest:
+// local execution is one attempt per shard, zero retries.
+func TestLocalExecutorReportsSingleAttempt(t *testing.T) {
+	co := NewCoordinator(WithCoordinatorWorkers(1))
+	if _, err := co.Run(context.Background(), tailTestSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st := co.Stats()
+	if st.ShardAttempts != st.Shards || st.ShardRetries != 0 {
+		t.Errorf("local executor stats = %d attempts over %d shards, %d retries; want attempts == shards and 0 retries",
+			st.ShardAttempts, st.Shards, st.ShardRetries)
+	}
+}

@@ -321,83 +321,146 @@ func (r *Result) EncodeJSONL(w io.Writer) error {
 	return nil
 }
 
-// DecodeResultJSONL reconstructs a Result from its JSONL stream,
-// rejecting unknown record types, unknown fields, missing headers, and
-// unsupported versions.
-func DecodeResultJSONL(r io.Reader) (*Result, error) {
+// StreamError is an in-band {"type":"error"} record decoded from a
+// Result JSONL stream — the failure channel of sweepd's streaming
+// responses, where HTTP status is already committed when a run fails.
+// Callers that salvage partial streams (the fleet dispatcher) match it
+// with errors.As to distinguish "the worker reported a failure" from
+// "the stream itself is corrupt".
+type StreamError struct{ Msg string }
+
+func (e *StreamError) Error() string { return "experiment: stream error: " + e.Msg }
+
+// ResultDecoder incrementally decodes a Result JSONL stream, one record
+// per Next call. Unlike DecodeResultJSONL it keeps everything decoded so
+// far available through Result, so a consumer of an unreliable transport
+// can salvage the complete records of a stream that is later truncated
+// or corrupted — each point line is a self-contained, strictly decoded
+// measurement, trustworthy on its own.
+type ResultDecoder struct {
+	sc   *bufio.Scanner
+	res  *Result
+	line int
+}
+
+// NewResultDecoder wraps r for incremental decoding.
+func NewResultDecoder(r io.Reader) *ResultDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var res *Result
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	return &ResultDecoder{sc: sc}
+}
+
+// Result returns the Result assembled from the records decoded so far —
+// nil before the header record. The same value grows with each Next.
+func (d *ResultDecoder) Result() *Result { return d.res }
+
+// Next decodes the next record into the growing Result. It returns
+// io.EOF at the clean end of the stream, a *StreamError for an in-band
+// error record, and other errors for corrupt, misordered, or truncated
+// records; any non-nil return leaves Result holding every record decoded
+// before the failure.
+func (d *ResultDecoder) Next() error {
+	for d.sc.Scan() {
+		d.line++
+		raw := d.sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
-		var probe struct {
-			Type string `json:"type"`
+		return d.decodeLine(raw)
+	}
+	if err := d.sc.Err(); err != nil {
+		return fmt.Errorf("experiment: decode result: %w", err)
+	}
+	return io.EOF
+}
+
+func (d *ResultDecoder) decodeLine(raw []byte) error {
+	line := d.line
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("experiment: decode result line %d: %w", line, err)
+	}
+	switch probe.Type {
+	case "result":
+		if d.res != nil {
+			return fmt.Errorf("experiment: decode result line %d: duplicate header", line)
 		}
-		if err := json.Unmarshal(raw, &probe); err != nil {
-			return nil, fmt.Errorf("experiment: decode result line %d: %w", line, err)
+		var h jsonlHeader
+		if err := strictDecoder(raw).Decode(&h); err != nil {
+			return fmt.Errorf("experiment: decode result line %d: %w", line, err)
 		}
-		switch probe.Type {
-		case "result":
-			if res != nil {
-				return nil, fmt.Errorf("experiment: decode result line %d: duplicate header", line)
-			}
-			var h jsonlHeader
-			if err := strictDecoder(raw).Decode(&h); err != nil {
-				return nil, fmt.Errorf("experiment: decode result line %d: %w", line, err)
-			}
-			if h.Version != ResultVersion {
-				return nil, fmt.Errorf("experiment: decode result line %d: unsupported version %d (this build reads version %d)",
-					line, h.Version, ResultVersion)
-			}
-			res = &Result{
-				Version:        h.Version,
-				Spec:           h.Spec,
-				Partial:        h.Partial,
-				SaturationLoad: h.SaturationLoad,
-				ElapsedNS:      h.ElapsedNS,
-			}
-		case "series":
-			if res == nil {
-				return nil, fmt.Errorf("experiment: decode result line %d: series before header", line)
-			}
-			var s jsonlSeries
-			if err := strictDecoder(raw).Decode(&s); err != nil {
-				return nil, fmt.Errorf("experiment: decode result line %d: %w", line, err)
-			}
-			res.Series = append(res.Series, ResultSeries{
-				Label: s.Label, Arbiter: s.Arbiter,
-				Pattern: s.Pattern, Process: s.Process, Model: s.Model,
-			})
-		case "point":
-			if res == nil || len(res.Series) == 0 {
-				return nil, fmt.Errorf("experiment: decode result line %d: point before its series", line)
-			}
-			var p jsonlPoint
-			if err := strictDecoder(raw).Decode(&p); err != nil {
-				return nil, fmt.Errorf("experiment: decode result line %d: %w", line, err)
-			}
-			last := &res.Series[len(res.Series)-1]
-			if p.Series != last.Label {
-				return nil, fmt.Errorf("experiment: decode result line %d: point for series %q under series %q",
-					line, p.Series, last.Label)
-			}
-			last.Points = append(last.Points, p.Point)
-		default:
-			return nil, fmt.Errorf("experiment: decode result line %d: unknown record type %q", line, probe.Type)
+		if h.Version != ResultVersion {
+			return fmt.Errorf("experiment: decode result line %d: unsupported version %d (this build reads version %d)",
+				line, h.Version, ResultVersion)
+		}
+		d.res = &Result{
+			Version:        h.Version,
+			Spec:           h.Spec,
+			Partial:        h.Partial,
+			SaturationLoad: h.SaturationLoad,
+			ElapsedNS:      h.ElapsedNS,
+		}
+	case "series":
+		if d.res == nil {
+			return fmt.Errorf("experiment: decode result line %d: series before header", line)
+		}
+		var s jsonlSeries
+		if err := strictDecoder(raw).Decode(&s); err != nil {
+			return fmt.Errorf("experiment: decode result line %d: %w", line, err)
+		}
+		d.res.Series = append(d.res.Series, ResultSeries{
+			Label: s.Label, Arbiter: s.Arbiter,
+			Pattern: s.Pattern, Process: s.Process, Model: s.Model,
+		})
+	case "point":
+		if d.res == nil || len(d.res.Series) == 0 {
+			return fmt.Errorf("experiment: decode result line %d: point before its series", line)
+		}
+		var p jsonlPoint
+		if err := strictDecoder(raw).Decode(&p); err != nil {
+			return fmt.Errorf("experiment: decode result line %d: %w", line, err)
+		}
+		last := &d.res.Series[len(d.res.Series)-1]
+		if p.Series != last.Label {
+			return fmt.Errorf("experiment: decode result line %d: point for series %q under series %q",
+				line, p.Series, last.Label)
+		}
+		last.Points = append(last.Points, p.Point)
+	case "error":
+		var el struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if err := strictDecoder(raw).Decode(&el); err != nil {
+			return fmt.Errorf("experiment: decode result line %d: %w", line, err)
+		}
+		return &StreamError{Msg: el.Error}
+	default:
+		return fmt.Errorf("experiment: decode result line %d: unknown record type %q", line, probe.Type)
+	}
+	return nil
+}
+
+// DecodeResultJSONL reconstructs a Result from its JSONL stream,
+// rejecting unknown record types, unknown fields, missing headers,
+// in-band error records, and unsupported versions.
+func DecodeResultJSONL(r io.Reader) (*Result, error) {
+	d := NewResultDecoder(r)
+	for {
+		err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiment: decode result: %w", err)
-	}
-	if res == nil {
+	if d.res == nil {
 		return nil, fmt.Errorf("experiment: decode result: empty stream")
 	}
-	return res, nil
+	return d.res, nil
 }
 
 // WriteFile saves the result as one indented JSON document.

@@ -1,0 +1,224 @@
+package fleet
+
+// execute.go is the dispatch loop: one ExecuteShard call owns one shard
+// from first POST to final Result, surviving worker deaths, hangs, and
+// corrupt streams along the way. The loop accumulates the shard's points
+// across attempts — every complete point line of a failed stream is a
+// finished, deterministic measurement — and re-dispatches only the
+// missing tail, so a retried shard re-simulates nothing it already has.
+// Whatever survives the retry budget is returned as a Partial result, so
+// the Coordinator still persists the completed points and a resumed run
+// picks up from them.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"alpha21364/internal/experiment"
+)
+
+// ErrNoWorkers reports a dispatch round that found every worker dead.
+var ErrNoWorkers = errors.New("fleet: no alive workers")
+
+// ExecuteShard implements experiment.ShardExecutor: POST the shard-Spec
+// to a healthy worker's /shard, stream the Result JSONL back, and on any
+// failure mark the worker dead, back off, and reassign the unfinished
+// tail to another healthy worker. attempts counts POSTs actually issued;
+// rounds that found no alive worker still consume retry budget (the
+// backoff gives heartbeats time to revive somebody) but add nothing to
+// attempts.
+func (f *Fleet) ExecuteShard(ctx context.Context, sh experiment.Shard, sink func(experiment.Event)) (*experiment.Result, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sink == nil {
+		sink = func(experiment.Event) {}
+	}
+	reps := 1
+	if sh.Spec.Replications > 1 {
+		reps = sh.Spec.Replications
+	}
+
+	// acc accumulates the shard's result across attempts: the first
+	// decoded header/series supplies the metadata, and every accepted
+	// point appends in cell order. done() is the resume cursor.
+	var acc *experiment.Result
+	done := func() int {
+		if acc == nil {
+			return 0
+		}
+		return len(acc.Series[0].Points)
+	}
+	accept := func(res *experiment.Result, pts []experiment.ResultPoint) {
+		if len(pts) == 0 {
+			return // nothing arrived (res may even be nil); keep what we have
+		}
+		if acc == nil {
+			base := *res
+			base.Spec = sh.Spec
+			base.ElapsedNS = 0
+			s := base.Series[0]
+			s.Points = append([]experiment.ResultPoint(nil), pts...)
+			base.Series = []experiment.ResultSeries{s}
+			acc = &base
+		} else {
+			acc.Series[0].Points = append(acc.Series[0].Points, pts...)
+		}
+		// Mirror the local executor's event traffic: one point-done per
+		// replication, so the Coordinator's done/total progress counters
+		// agree across backends. Only the last event of a point carries
+		// the (aggregated) measurement.
+		label := acc.Series[0].Label
+		for i := range pts {
+			pt := pts[i]
+			for r := 0; r < reps; r++ {
+				e := experiment.Event{Type: experiment.EventPointDone, Label: label, Series: label}
+				if r == reps-1 {
+					e.Point = &pt
+				}
+				sink(e)
+			}
+		}
+	}
+
+	attempts := 0
+	var lastErr error
+	backoff := f.backoffBase
+	for round := 0; round <= f.retries; round++ {
+		if round > 0 {
+			select {
+			case <-ctx.Done():
+				return f.finish(sh, acc, done()), attempts, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > f.backoffMax {
+				backoff = f.backoffMax
+			}
+		}
+		w := f.pick()
+		if w == nil {
+			// Benching is pessimistic — any failed attempt benches its
+			// worker — so an all-dead round re-probes everyone right now
+			// rather than waiting out a heartbeat interval. A single-worker
+			// fleet whose worker merely dropped one stream recovers here.
+			f.probeAll()
+			w = f.pick()
+		}
+		if w == nil {
+			lastErr = fmt.Errorf("fleet: shard %q: %w", sh.Spec.Name, ErrNoWorkers)
+			continue
+		}
+
+		remaining := sh.Tail(done())
+		attempts++
+		res, err := f.postShard(ctx, w, remaining.Spec)
+		pts := resultPoints(res)
+		if len(pts) > len(remaining.Cells) {
+			// More points than cells is not a crash fault — distrust the
+			// whole response.
+			err = fmt.Errorf("fleet: worker %s returned %d points for %d cells", w.url, len(pts), len(remaining.Cells))
+			pts = nil
+		}
+		if err == nil && res.Partial {
+			err = fmt.Errorf("fleet: worker %s returned a partial result (%d/%d points)",
+				w.url, len(pts), len(remaining.Cells))
+		}
+		if err == nil && len(pts) < len(remaining.Cells) {
+			err = fmt.Errorf("fleet: worker %s returned %d/%d points", w.url, len(pts), len(remaining.Cells))
+		}
+		if err == nil {
+			w.done.Add(1)
+			accept(res, pts)
+			acc.Partial = false
+			return acc, attempts, nil
+		}
+
+		// Failed attempt: keep its intact prefix, bench the worker, and
+		// let the next round reassign the rest.
+		w.failed.Add(1)
+		f.setAlive(w, false, "shard attempt failed")
+		lastErr = fmt.Errorf("fleet: shard %q attempt %d on %s: %w", sh.Spec.Name, attempts, w.url, err)
+		f.logf("%v", lastErr)
+		accept(res, pts)
+		if done() == len(sh.Cells) {
+			// The stream died after its last point — everything arrived,
+			// only the clean EOF is missing. The points are whole and
+			// deterministic; the shard is complete.
+			acc.Partial = false
+			return acc, attempts, nil
+		}
+		if ctx.Err() != nil {
+			return f.finish(sh, acc, done()), attempts, ctx.Err()
+		}
+	}
+	return f.finish(sh, acc, done()), attempts, lastErr
+}
+
+// finish shapes the accumulated result for a run that is giving up:
+// whatever arrived is a valid contiguous prefix, marked Partial so the
+// Coordinator persists the points without trusting the shard complete.
+func (f *Fleet) finish(sh experiment.Shard, acc *experiment.Result, got int) *experiment.Result {
+	if acc == nil {
+		return nil
+	}
+	acc.Partial = got < len(sh.Cells)
+	return acc
+}
+
+// resultPoints flattens a (possibly nil, possibly partial) decoded
+// result into its point list. Shard-Specs always expand to exactly one
+// series, but a partial stream may have died before the series line.
+func resultPoints(res *experiment.Result) []experiment.ResultPoint {
+	if res == nil || len(res.Series) == 0 {
+		return nil
+	}
+	return res.Series[0].Points
+}
+
+// postShard runs one attempt: POST the spec, stream-decode the response.
+// It returns whatever decoded cleanly even on error, so the caller can
+// salvage the intact prefix of a truncated or corrupted stream.
+func (f *Fleet) postShard(ctx context.Context, w *worker, sp experiment.Spec) (*experiment.Result, error) {
+	w.attempts.Add(1)
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+
+	body, err := experiment.EncodeSpec(sp)
+	if err != nil {
+		return nil, err
+	}
+	actx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, w.url+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	dec := experiment.NewResultDecoder(resp.Body)
+	for {
+		switch err := dec.Next(); {
+		case err == io.EOF:
+			if dec.Result() == nil {
+				return nil, fmt.Errorf("empty response stream")
+			}
+			return dec.Result(), nil
+		case err != nil:
+			return dec.Result(), err
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package fleet distributes shard execution across remote sweepd
+// workers over HTTP/JSONL. A Fleet implements experiment.ShardExecutor:
+// the Coordinator plans a sweep into shard-Specs and hands each one to
+// ExecuteShard, which POSTs the spec to a worker's /shard endpoint and
+// streams the Result JSONL back. Around that transport sits the fault
+// machinery the coordinator never sees: a registry of static worker
+// addresses kept alive/dead by periodic /healthz heartbeats, per-shard
+// attempt timeouts, capped exponential backoff, and automatic
+// reassignment of failed or orphaned shards to healthy workers.
+//
+// The fault model is crash faults: workers may die mid-shard, hang, or
+// return truncated/corrupt streams, and the retry path preserves byte
+// identity with a monolithic run because every complete point line in a
+// partial response is a self-contained, deterministic measurement — a
+// retry re-simulates only the missing tail of the shard (Shard.Tail),
+// and concatenating prefix and tail reproduces the exact points a single
+// clean run would have produced. A worker that fabricates well-formed
+// but wrong point values is outside the model (run your fleet on
+// machines you trust).
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the dial-level knobs; override with the With* options.
+const (
+	// DefaultTimeout bounds one shard attempt end to end — connect,
+	// simulate, stream — before the dispatcher gives up on the worker and
+	// reassigns the remainder.
+	DefaultTimeout = 2 * time.Minute
+	// DefaultRetries is how many times a shard is re-dispatched after its
+	// first attempt fails (total attempts = retries + 1).
+	DefaultRetries = 3
+	// DefaultHeartbeatInterval is how often each worker's /healthz is
+	// probed to move it between alive and dead.
+	DefaultHeartbeatInterval = 2 * time.Second
+
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+// worker is one registry entry: a static address plus the liveness and
+// dispatch counters the heartbeat loop and dispatcher maintain.
+type worker struct {
+	url      string      // normalized base URL, no trailing slash
+	alive    atomic.Bool // heartbeat or dispatcher verdict
+	inflight atomic.Int64
+	attempts atomic.Int64 // shard attempts dispatched here
+	done     atomic.Int64 // attempts that returned a complete result
+	failed   atomic.Int64 // attempts that errored, hung, or came back corrupt
+}
+
+// Fleet is a set of remote sweepd workers plus the dispatch policy over
+// them. Construct with New, attach to a Coordinator via
+// experiment.WithShardExecutor, and Close when done (stops heartbeats).
+// A Fleet is safe for concurrent ExecuteShard calls.
+type Fleet struct {
+	workers []*worker
+	client  *http.Client
+	logf    func(format string, args ...any)
+
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	hbEvery     time.Duration
+
+	rr       atomic.Uint64 // round-robin cursor for tie-breaking
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Option configures a Fleet.
+type Option func(*Fleet)
+
+// WithTimeout bounds one shard attempt (default DefaultTimeout). Size it
+// above the slowest single shard: a legitimate shard that outruns the
+// timeout is indistinguishable from a hung worker and will be retried
+// until its attempts are exhausted.
+func WithTimeout(d time.Duration) Option {
+	return func(f *Fleet) {
+		if d > 0 {
+			f.timeout = d
+		}
+	}
+}
+
+// WithRetries sets how many times a failed shard is re-dispatched
+// (default DefaultRetries); 0 means a single attempt, fail-fast.
+func WithRetries(n int) Option {
+	return func(f *Fleet) {
+		if n >= 0 {
+			f.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the capped exponential backoff between a shard's
+// attempts: base, 2·base, 4·base, … capped at max.
+func WithBackoff(base, max time.Duration) Option {
+	return func(f *Fleet) {
+		if base > 0 {
+			f.backoffBase = base
+		}
+		if max >= base && max > 0 {
+			f.backoffMax = max
+		}
+	}
+}
+
+// WithHeartbeatInterval sets the /healthz probe period (default
+// DefaultHeartbeatInterval). Probes are what revive a worker the
+// dispatcher marked dead — a restarted sweepd rejoins the fleet within
+// one interval.
+func WithHeartbeatInterval(d time.Duration) Option {
+	return func(f *Fleet) {
+		if d > 0 {
+			f.hbEvery = d
+		}
+	}
+}
+
+// WithLogf routes the fleet's diagnostics (worker state transitions,
+// retry decisions) to f; the default discards them.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(f *Fleet) {
+		if logf != nil {
+			f.logf = logf
+		}
+	}
+}
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient
+// with no client-level timeout — per-attempt contexts bound each call).
+func WithHTTPClient(c *http.Client) Option {
+	return func(f *Fleet) {
+		if c != nil {
+			f.client = c
+		}
+	}
+}
+
+// normalizeAddr turns "host:port" or a full URL into a base URL.
+func normalizeAddr(addr string) (string, error) {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return "", fmt.Errorf("fleet: empty worker address")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("fleet: worker address %q: %w", addr, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("fleet: worker address %q: unsupported scheme %q", addr, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("fleet: worker address %q has no host", addr)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// New builds a Fleet over the given worker addresses ("host:port" or
+// http(s) URLs) and starts one heartbeat goroutine per worker. Workers
+// start optimistically alive — the first dispatch probes them the hard
+// way, and a connection failure moves them to dead until a heartbeat
+// succeeds.
+func New(addrs []string, opts ...Option) (*Fleet, error) {
+	f := &Fleet{
+		client:      http.DefaultClient,
+		logf:        func(string, ...any) {},
+		timeout:     DefaultTimeout,
+		retries:     DefaultRetries,
+		backoffBase: defaultBackoffBase,
+		backoffMax:  defaultBackoffMax,
+		hbEvery:     DefaultHeartbeatInterval,
+		stop:        make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, addr := range addrs {
+		u, err := normalizeAddr(addr)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		w := &worker{url: u}
+		w.alive.Store(true)
+		f.workers = append(f.workers, w)
+	}
+	if len(f.workers) == 0 {
+		return nil, fmt.Errorf("fleet: no worker addresses")
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go f.heartbeat(w)
+	}
+	return f, nil
+}
+
+// Close stops the heartbeat loops. In-flight ExecuteShard calls are not
+// interrupted (cancel their context for that).
+func (f *Fleet) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// heartbeat probes one worker's /healthz every interval until Close.
+func (f *Fleet) heartbeat(w *worker) {
+	defer f.wg.Done()
+	t := time.NewTicker(f.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.probe(w)
+		}
+	}
+}
+
+// probe performs one health check and flips the worker's liveness. Any
+// 200 from /healthz counts as alive; a draining or dead sweepd answers
+// 503 (or nothing) and is taken out of rotation.
+func (f *Fleet) probe(w *worker) {
+	timeout := f.hbEvery
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	alive := false
+	if resp, err := f.client.Do(req); err == nil {
+		resp.Body.Close()
+		alive = resp.StatusCode == http.StatusOK
+	}
+	f.setAlive(w, alive, "heartbeat")
+}
+
+// probeAll re-checks every benched worker once, synchronously. The
+// dispatcher calls it when a round finds no alive workers at all: a
+// worker that only dropped one stream answers its /healthz immediately
+// and rejoins, while a genuinely dead one stays benched.
+func (f *Fleet) probeAll() {
+	for _, w := range f.workers {
+		if !w.alive.Load() {
+			f.probe(w)
+		}
+	}
+}
+
+// setAlive flips liveness, logging transitions once.
+func (f *Fleet) setAlive(w *worker, alive bool, why string) {
+	if w.alive.Swap(alive) != alive {
+		state := "dead"
+		if alive {
+			state = "alive"
+		}
+		f.logf("fleet: worker %s marked %s (%s)", w.url, state, why)
+	}
+}
+
+// pick selects the healthy worker with the fewest in-flight shards,
+// breaking ties round-robin so equal workers share load. It returns nil
+// when every worker is dead.
+func (f *Fleet) pick() *worker {
+	start := int(f.rr.Add(1) - 1)
+	var best *worker
+	var bestLoad int64
+	n := len(f.workers)
+	for i := 0; i < n; i++ {
+		w := f.workers[(start+i)%n]
+		if !w.alive.Load() {
+			continue
+		}
+		if load := w.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// WorkerStatus is one registry entry's observable state.
+type WorkerStatus struct {
+	Addr     string // normalized base URL
+	Alive    bool
+	Inflight int   // shard attempts currently running there
+	Attempts int64 // shard attempts dispatched to it, ever
+	Done     int64 // attempts that returned a complete result
+	Failed   int64 // attempts that errored, hung, or came back corrupt
+}
+
+// Status snapshots every worker, in registry order.
+func (f *Fleet) Status() []WorkerStatus {
+	out := make([]WorkerStatus, len(f.workers))
+	for i, w := range f.workers {
+		out[i] = WorkerStatus{
+			Addr:     w.url,
+			Alive:    w.alive.Load(),
+			Inflight: int(w.inflight.Load()),
+			Attempts: w.attempts.Load(),
+			Done:     w.done.Load(),
+			Failed:   w.failed.Load(),
+		}
+	}
+	return out
+}
