@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-check cover cover-check fmt vet figures
+.PHONY: build test race bench bench-arbiters bench-check cover cover-check fmt vet figures
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,17 @@ race:
 # slab/rings, and the workload injection queues — plus the oracle and
 # telemetry hook paths (invariant checker, obs counters/flight rings,
 # replicated/checked/instrumented Runner fan-outs, and the daemon's
-# shared metrics under concurrent scrapes), and the fleet dispatch paths
+# shared metrics under concurrent scrapes), the fleet dispatch paths
 # (heartbeats racing the dispatcher's liveness flips, the daemon's shard
-# semaphore and drain flag under concurrent requests).
+# semaphore and drain flag under concurrent requests), and the bitplane
+# arbitration kernels (the parallel differential suite drives every
+# word-parallel kernel against its scalar reference from concurrent
+# subtests, racing the shared mask/scratch code paths).
 race-pools:
 	$(GO) test -race -count=1 \
 		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
 		./internal/sim ./internal/packet ./internal/vc ./internal/router ./internal/workload
+	$(GO) test -race -count=1 -run 'Differential|Matrix|Bitplane' ./internal/core
 	$(GO) test -race -count=1 ./internal/check ./internal/obs
 	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches|Metrics' ./internal/experiment
 	$(GO) test -race -count=1 -run 'Metrics|Flight' ./internal/router
@@ -44,15 +48,20 @@ cover:
 cover-check: cover
 	$(GO) run ./cmd/covercheck -profile cover.out -floors COVERAGE.json
 
-# bench runs the benchmark suite and writes BENCH_6.json into bench-out/.
+# bench runs the benchmark suite and writes BENCH_9.json into bench-out/.
 bench:
 	$(GO) run ./cmd/sweep -bench -out bench-out
+
+# bench-arbiters runs the per-kernel Arbitrate microbenchmarks (bitplane
+# kernels and their retained scalar references side by side).
+bench-arbiters:
+	$(GO) test ./internal/core -run '^$$' -bench 'Arbitrate' -benchmem
 
 # bench-check compares a fresh run against the committed baseline and
 # fails on >15% calibration-normalized regression in ns/simulated-cycle
 # (or allocations). This is the CI perf gate.
 bench-check:
-	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_6.json
+	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_9.json
 
 fmt:
 	gofmt -l .

@@ -18,7 +18,7 @@
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
 //	      [-record FILE | -replay FILE]
-//	sweep -bench [-out DIR] [-bench-baseline BENCH_6.json]
+//	sweep -bench [-out DIR] [-bench-baseline BENCH_9.json]
 //	sweep -list
 //
 // Any sweep mode (figure, matrix, run, spec) accepts -cache-dir DIR to
@@ -154,7 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fleetAddrs := fs.String("fleet", "", "comma-separated sweepd worker addresses (host:port): dispatch shards to the fleet instead of simulating in-process")
 	fleetTimeout := fs.Duration("fleet-timeout", fleet.DefaultTimeout, "with -fleet, per-attempt shard timeout before the worker is declared hung and the shard reassigned")
 	fleetRetries := fs.Int("fleet-retries", fleet.DefaultRetries, "with -fleet, how many times a failed shard is re-dispatched (0 = single attempt)")
-	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_6.json")
+	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_9.json")
 	benchBaseline := fs.String("bench-baseline", "", "with -bench, compare against this BENCH_*.json and fail on >15% regression")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -670,7 +670,7 @@ const benchRegressionTolerance = 0.15
 
 // runBench executes the benchmark suite (experiment.RunBench: Spec-driven
 // workloads through the ordinary Runner, plus the coordinated entry
-// through the sharded Coordinator), writes BENCH_6.json, and, when a
+// through the sharded Coordinator), writes BENCH_9.json, and, when a
 // baseline is given, fails on >15% calibration-normalized regression.
 func (a *app) runBench(baseline string) error {
 	dir := a.dir

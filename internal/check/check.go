@@ -30,6 +30,7 @@ package check
 import (
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"alpha21364/internal/core"
@@ -186,11 +187,9 @@ type Checker struct {
 	progressAt    sim.Ticks
 
 	// Reused scratch for the wave-matrix and grant-legality checks.
-	keyBuf  []uint64
-	rowBuf  []int
-	colBuf  []int
-	usedRow []bool
-	usedCol []bool
+	keyBuf []uint64
+	rowBuf []int
+	colBuf []int
 }
 
 // New builds a Checker over the given probes. Install it on each router
@@ -328,14 +327,13 @@ func (c *Checker) WaveResolve(r *router.Router, now sim.Ticks, m *core.Matrix, g
 		return
 	}
 	node := int(r.Node())
-	// Builder invariants over the matrix.
+	// Builder invariants over the matrix, iterating the row validity
+	// words so only populated cells are visited.
 	c.keyBuf, c.rowBuf, c.colBuf = c.keyBuf[:0], c.rowBuf[:0], c.colBuf[:0]
 	for row := 0; row < m.Rows; row++ {
-		for col := 0; col < m.Cols; col++ {
+		for w := m.RowMask(row); w != 0; w &= w - 1 {
+			col := bits.TrailingZeros64(w)
 			cell := m.At(row, col)
-			if !cell.Valid {
-				continue
-			}
 			seen := false
 			for i, k := range c.keyBuf {
 				if k != cell.Key {
@@ -361,20 +359,9 @@ func (c *Checker) WaveResolve(r *router.Router, now sim.Ticks, m *core.Matrix, g
 			}
 		}
 	}
-	// Grants form a matching over valid cells.
-	if cap(c.usedRow) < m.Rows {
-		c.usedRow = make([]bool, m.Rows)
-	}
-	if cap(c.usedCol) < m.Cols {
-		c.usedCol = make([]bool, m.Cols)
-	}
-	usedRow, usedCol := c.usedRow[:m.Rows], c.usedCol[:m.Cols]
-	for i := range usedRow {
-		usedRow[i] = false
-	}
-	for i := range usedCol {
-		usedCol[i] = false
-	}
+	// Grants form a matching over valid cells; the used row/column sets
+	// are single words (core.MaxDim bounds the shape).
+	var usedRow, usedCol uint64
 	for _, g := range grants {
 		if g.Row < 0 || g.Row >= m.Rows || g.Col < 0 || g.Col >= m.Cols {
 			c.failf("grant-legality", node, now, "wave grant (%d,%d) out of range", g.Row, g.Col)
@@ -386,16 +373,16 @@ func (c *Checker) WaveResolve(r *router.Router, now sim.Ticks, m *core.Matrix, g
 				"wave grant (%d,%d) of packet %d matches no pending request", g.Row, g.Col, g.Cell.Key)
 			return
 		}
-		if usedRow[g.Row] {
+		if usedRow&(1<<uint(g.Row)) != 0 {
 			c.failf("grant-legality", node, now, "read port row %d granted twice in one wave", g.Row)
 			return
 		}
-		if usedCol[g.Col] {
+		if usedCol&(1<<uint(g.Col)) != 0 {
 			c.failf("grant-legality", node, now, "output column %d granted twice in one wave", g.Col)
 			return
 		}
-		usedRow[g.Row] = true
-		usedCol[g.Col] = true
+		usedRow |= 1 << uint(g.Row)
+		usedCol |= 1 << uint(g.Col)
 	}
 }
 

@@ -46,6 +46,8 @@ func (ia instrumentedArbiter) Name() string { return ia.inner.Name() }
 
 func (ia instrumentedArbiter) Arbitrate(mx *Matrix) []Grant {
 	gs := ia.inner.Arbitrate(mx)
+	// ValidCount sums the row validity words' popcounts, so counting the
+	// offered nominations costs Rows word ops, not a cell rescan.
 	req := int64(mx.ValidCount())
 	ia.m.Requests += req
 	ia.m.Grants += int64(len(gs))

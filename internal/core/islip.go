@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // ISLIP is McKeown's iSLIP scheduler, the hardware-implementable
 // derivative of PIM the paper cites in §3.1 ("researchers have proposed
 // variations of PIM, such as iSLIP, that can be implemented in hardware,
@@ -18,13 +20,17 @@ package core
 // iSLIP is not part of the paper's figures; it is included as the natural
 // extension point the paper names, and the standalone model can run it for
 // comparison.
+//
+// Bitplane kernel: "first set bit at or after the pointer" is a rotate of
+// the request word by the pointer followed by TrailingZeros64 — the
+// software form of the programmable-priority encoder in a hardware
+// round-robin arbiter — replacing the scalar wrap-around scan.
 type ISLIP struct {
 	iterations int
 	grantPtr   []int // per column
 	acceptPtr  []int // per row
 	rowMask    []uint64
 	matchRow   []int
-	matchCol   []int
 	grants     []Grant // reused across calls
 }
 
@@ -39,6 +45,20 @@ func NewISLIP(iterations int) *ISLIP {
 // Name implements Arbiter.
 func (a *ISLIP) Name() string { return "iSLIP" }
 
+// firstFrom returns the first set bit of w at or cyclically after ptr
+// within an n-bit word; w must be nonzero with no bits at or above n.
+func firstFrom(w uint64, ptr, n int) int {
+	ptr %= n
+	if ptr != 0 {
+		w = ((w >> uint(ptr)) | (w << uint(n-ptr))) & rowsAll(n)
+	}
+	pos := ptr + bits.TrailingZeros64(w)
+	if pos >= n {
+		pos -= n
+	}
+	return pos
+}
+
 // Arbitrate implements Arbiter.
 func (a *ISLIP) Arbitrate(m *Matrix) []Grant {
 	if cap(a.matchRow) < m.Rows {
@@ -46,69 +66,56 @@ func (a *ISLIP) Arbitrate(m *Matrix) []Grant {
 		a.rowMask = make([]uint64, m.Rows)
 		a.acceptPtr = make([]int, m.Rows)
 	}
-	if cap(a.matchCol) < m.Cols {
-		a.matchCol = make([]int, m.Cols)
+	if cap(a.grantPtr) < m.Cols {
 		a.grantPtr = make([]int, m.Cols)
 	}
 	matchRow := a.matchRow[:m.Rows]
-	matchCol := a.matchCol[:m.Cols]
-	rowMask := a.rowMask[:m.Rows]
-	for i := range matchRow {
-		matchRow[i] = -1
-	}
-	for i := range matchCol {
-		matchCol[i] = -1
-	}
+	rowMask := a.rowMask[:m.Rows] // all-zero between calls (see accept step)
+	grantPtr := a.grantPtr[:m.Cols]
+	acceptPtr := a.acceptPtr[:m.Rows]
+	unmatchedRows := rowsAll(m.Rows)
+	var matchedCols uint64
 
 	for it := 0; it < a.iterations; it++ {
-		for r := range rowMask {
-			rowMask[r] = 0
-		}
-		// Grant: round-robin from the column's pointer.
-		anyGrant := false
+		// Grant: the first unmatched requester at or after the column's
+		// rotating pointer.
+		var grantedRows uint64
 		for c := 0; c < m.Cols; c++ {
-			if matchCol[c] != -1 {
+			if matchedCols&(1<<uint(c)) != 0 {
 				continue
 			}
-			for k := 0; k < m.Rows; k++ {
-				r := (a.grantPtr[c] + k) % m.Rows
-				if matchRow[r] == -1 && m.At(r, c).Valid {
-					rowMask[r] |= 1 << uint(c)
-					anyGrant = true
-					break
-				}
+			cand := m.colReq[c] & unmatchedRows
+			if cand == 0 {
+				continue
 			}
+			r := firstFrom(cand, grantPtr[c], m.Rows)
+			rowMask[r] |= 1 << uint(c)
+			grantedRows |= 1 << uint(r)
 		}
-		if !anyGrant {
+		if grantedRows == 0 {
 			break
 		}
-		// Accept: round-robin from the row's pointer; pointers move only on
-		// acceptance and only in the first iteration.
-		for r := 0; r < m.Rows; r++ {
-			if rowMask[r] == 0 {
-				continue
-			}
-			for k := 0; k < m.Cols; k++ {
-				c := (a.acceptPtr[r] + k) % m.Cols
-				if rowMask[r]&(1<<uint(c)) == 0 {
-					continue
-				}
-				matchRow[r] = c
-				matchCol[c] = r
-				if it == 0 {
-					a.acceptPtr[r] = (c + 1) % m.Cols
-					a.grantPtr[c] = (r + 1) % m.Rows
-				}
-				break
+		// Accept: the first granting output at or after the row's pointer;
+		// pointers move only on acceptance and only in the first iteration.
+		// Every granted row accepts, so rowMask returns to zero.
+		for g := grantedRows; g != 0; g &= g - 1 {
+			r := bits.TrailingZeros64(g)
+			c := firstFrom(rowMask[r], acceptPtr[r], m.Cols)
+			rowMask[r] = 0
+			matchRow[r] = c
+			matchedCols |= 1 << uint(c)
+			unmatchedRows &^= 1 << uint(r)
+			if it == 0 {
+				acceptPtr[r] = (c + 1) % m.Cols
+				grantPtr[c] = (r + 1) % m.Rows
 			}
 		}
 	}
 
 	grants := a.grants[:0]
-	for r := 0; r < m.Rows; r++ {
-		if c := matchRow[r]; c != -1 {
-			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
-		}
+	for g := rowsAll(m.Rows) &^ unmatchedRows; g != 0; g &= g - 1 {
+		r := bits.TrailingZeros64(g)
+		grants = append(grants, Grant{Row: r, Col: matchRow[r], Cell: m.At(r, matchRow[r])})
 	}
 	a.grants = grants
 	return grants

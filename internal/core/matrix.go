@@ -15,9 +15,26 @@
 // set, a packet appears in the rows of only one read port (the read-port
 // pairs synchronize), and a packet appears in at most two columns (adaptive
 // routing in the minimal rectangle).
+//
+// Bitplane representation: alongside the Cell slice, the matrix maintains
+// per-row validity masks (bit c of RowMask(r) ⇔ cell (r,c) valid) and
+// per-column request words (bit r of ColMask(c) ⇔ cell (r,c) valid), kept
+// in sync incrementally by Set/SetMany/Clear/Reset, plus row-port and
+// network-row masks derived once from the row metadata. The arbitration
+// kernels iterate candidates with math/bits on these words instead of
+// walking Cells one by one; reference.go retains the scalar kernels as the
+// differential oracle.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDim bounds the matrix shape so a row fits a per-column request word
+// and a column fits a per-row validity word (one uint64 each). The 21364
+// needs 16x7; the cap exists for the extension shapes.
+const MaxDim = 64
 
 // Cell is one matrix entry: the candidate packet a row offers a column.
 type Cell struct {
@@ -31,28 +48,43 @@ type Cell struct {
 type Matrix struct {
 	Rows, Cols int
 	// RowPort maps a row (read-port arbiter) to its input port; the two
-	// rows of an input port share buffers.
+	// rows of an input port share buffers. Callers that mutate it after
+	// construction must call SyncRowMeta.
 	RowPort []int8
 	// RowNetwork marks rows fed by interprocessor (network) input ports;
-	// the Rotary Rule prioritizes these.
+	// the Rotary Rule prioritizes these. Callers that mutate it after
+	// construction must call SyncRowMeta.
 	RowNetwork []bool
 	cells      []Cell
+	// rowValid[r] bit c and colReq[c] bit r both mirror cells[r*Cols+c].Valid.
+	rowValid []uint64
+	colReq   []uint64
+	// portRows[p] is the mask of rows RowPort maps to port p; netRows is
+	// the mask of rows RowNetwork marks. Both derive from SyncRowMeta.
+	portRows []uint64
+	netRows  uint64
 }
 
 // NewMatrix returns an empty matrix with the given shape and uniform row
 // metadata (one row per port, no network rows). Use NewRouterMatrix for
-// the 21364 shape.
+// the 21364 shape. Shapes beyond MaxDim rows or columns are rejected.
 func NewMatrix(rows, cols int) *Matrix {
+	if rows < 1 || rows > MaxDim || cols < 1 || cols > MaxDim {
+		panic(fmt.Sprintf("core: matrix shape %dx%d outside 1..%d", rows, cols, MaxDim))
+	}
 	m := &Matrix{
 		Rows:       rows,
 		Cols:       cols,
 		RowPort:    make([]int8, rows),
 		RowNetwork: make([]bool, rows),
 		cells:      make([]Cell, rows*cols),
+		rowValid:   make([]uint64, rows),
+		colReq:     make([]uint64, cols),
 	}
 	for i := range m.RowPort {
 		m.RowPort[i] = int8(i)
 	}
+	m.SyncRowMeta()
 	return m
 }
 
@@ -72,34 +104,108 @@ func NewRouterMatrix() *Matrix {
 		m.RowPort[i] = int8(i / 2)
 		m.RowNetwork[i] = i < 8
 	}
+	m.SyncRowMeta()
 	return m
 }
 
-// Reset clears all cells, keeping the shape and row metadata.
+// SyncRowMeta recomputes the row-port and network-row masks from RowPort
+// and RowNetwork. The constructors call it; call it again after mutating
+// either slice directly.
+func (m *Matrix) SyncRowMeta() {
+	ports := 0
+	for _, p := range m.RowPort {
+		if int(p)+1 > ports {
+			ports = int(p) + 1
+		}
+	}
+	if cap(m.portRows) < ports {
+		m.portRows = make([]uint64, ports)
+	}
+	m.portRows = m.portRows[:ports]
+	for p := range m.portRows {
+		m.portRows[p] = 0
+	}
+	m.netRows = 0
+	for r := 0; r < m.Rows; r++ {
+		m.portRows[m.RowPort[r]] |= 1 << uint(r)
+		if m.RowNetwork[r] {
+			m.netRows |= 1 << uint(r)
+		}
+	}
+}
+
+// Reset clears all cells, keeping the shape and row metadata. Only cells
+// the validity masks mark are touched, so clearing a sparse matrix costs
+// its population, not its area.
 func (m *Matrix) Reset() {
-	for i := range m.cells {
-		m.cells[i].Valid = false
+	for r, w := range m.rowValid {
+		if w == 0 {
+			continue
+		}
+		base := r * m.Cols
+		for ; w != 0; w &= w - 1 {
+			m.cells[base+bits.TrailingZeros64(w)].Valid = false
+		}
+		m.rowValid[r] = 0
+	}
+	for c := range m.colReq {
+		m.colReq[c] = 0
 	}
 }
 
 // Set fills the cell at (row, col).
 func (m *Matrix) Set(row, col int, age int64, key uint64, payload int32) {
 	m.cells[row*m.Cols+col] = Cell{Valid: true, Age: age, Key: key, Payload: payload}
+	m.rowValid[row] |= 1 << uint(col)
+	m.colReq[col] |= 1 << uint(row)
+}
+
+// SetMany fills every cell of row named by cols (a column bitmask) with
+// the same packet — the builder fast path for a packet nominated to all
+// its candidate outputs at once.
+func (m *Matrix) SetMany(row int, cols uint64, age int64, key uint64, payload int32) {
+	base := row * m.Cols
+	m.rowValid[row] |= cols
+	for w := cols; w != 0; w &= w - 1 {
+		col := bits.TrailingZeros64(w)
+		m.cells[base+col] = Cell{Valid: true, Age: age, Key: key, Payload: payload}
+		m.colReq[col] |= 1 << uint(row)
+	}
 }
 
 // Clear invalidates the cell at (row, col).
-func (m *Matrix) Clear(row, col int) { m.cells[row*m.Cols+col].Valid = false }
+func (m *Matrix) Clear(row, col int) {
+	m.cells[row*m.Cols+col].Valid = false
+	m.rowValid[row] &^= 1 << uint(col)
+	m.colReq[col] &^= 1 << uint(row)
+}
 
 // At returns the cell at (row, col).
 func (m *Matrix) At(row, col int) Cell { return m.cells[row*m.Cols+col] }
 
+// RowMask returns the validity word of a row: bit c set ⇔ cell (row, c)
+// is valid.
+func (m *Matrix) RowMask(row int) uint64 { return m.rowValid[row] }
+
+// ColMask returns the request word of a column: bit r set ⇔ cell (r, col)
+// is valid.
+func (m *Matrix) ColMask(col int) uint64 { return m.colReq[col] }
+
+// NetworkRowMask returns the mask of rows fed by network input ports.
+func (m *Matrix) NetworkRowMask() uint64 { return m.netRows }
+
+// PortRowMask returns the mask of rows belonging to an input port.
+func (m *Matrix) PortRowMask(port int) uint64 { return m.portRows[port] }
+
+// Ports returns the number of input ports the row metadata names
+// (max RowPort + 1).
+func (m *Matrix) Ports() int { return len(m.portRows) }
+
 // ValidCount returns the number of valid cells (nominations).
 func (m *Matrix) ValidCount() int {
 	n := 0
-	for i := range m.cells {
-		if m.cells[i].Valid {
-			n++
-		}
+	for _, w := range m.rowValid {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -111,11 +217,9 @@ func (m *Matrix) Validate() error {
 	rowOf := make(map[uint64]int)
 	count := make(map[uint64]int)
 	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			cell := m.At(r, c)
-			if !cell.Valid {
-				continue
-			}
+		base := r * m.Cols
+		for w := m.rowValid[r]; w != 0; w &= w - 1 {
+			cell := m.cells[base+bits.TrailingZeros64(w)]
 			if prev, ok := rowOf[cell.Key]; ok && prev != r {
 				return fmt.Errorf("core: packet %d nominated by rows %d and %d", cell.Key, prev, r)
 			}
@@ -152,23 +256,22 @@ type Arbiter interface {
 // CheckMatching verifies that grants form a matching over valid cells of m;
 // it is used by tests and by the simulator's self-checks.
 func CheckMatching(m *Matrix, grants []Grant) error {
-	rowUsed := make([]bool, m.Rows)
-	colUsed := make([]bool, m.Cols)
+	var rowUsed, colUsed uint64
 	for _, g := range grants {
 		if g.Row < 0 || g.Row >= m.Rows || g.Col < 0 || g.Col >= m.Cols {
 			return fmt.Errorf("core: grant (%d,%d) out of range", g.Row, g.Col)
 		}
-		if !m.At(g.Row, g.Col).Valid {
+		if m.rowValid[g.Row]&(1<<uint(g.Col)) == 0 {
 			return fmt.Errorf("core: grant (%d,%d) on invalid cell", g.Row, g.Col)
 		}
-		if rowUsed[g.Row] {
+		if rowUsed&(1<<uint(g.Row)) != 0 {
 			return fmt.Errorf("core: row %d granted twice", g.Row)
 		}
-		if colUsed[g.Col] {
+		if colUsed&(1<<uint(g.Col)) != 0 {
 			return fmt.Errorf("core: column %d granted twice", g.Col)
 		}
-		rowUsed[g.Row] = true
-		colUsed[g.Col] = true
+		rowUsed |= 1 << uint(g.Row)
+		colUsed |= 1 << uint(g.Col)
 	}
 	return nil
 }

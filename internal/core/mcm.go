@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // MCM is the Maximal Cardinality Matching algorithm of the paper (§3): a
 // maximum-weight matching with all weights equal, i.e. a maximum bipartite
 // matching between the 16 read-port arbiters and the 7 output-port
@@ -10,6 +12,13 @@ package core
 // We implement it with Hopcroft–Karp, which finds a provably maximum
 // matching (the quantity the paper measures); tests cross-check it against
 // brute-force search on small matrices.
+//
+// Bitplane kernel: BFS layering and DFS augmentation iterate each row's
+// validity word with TrailingZeros64 instead of probing all columns, rows
+// with no requests are pruned from the search with the nonempty-row mask,
+// and the phase loop stops as soon as the matching reaches the popcount
+// bound min(|nonempty rows|, |requested columns|) — the maximum possible
+// cardinality — skipping the final no-progress BFS pass.
 type MCM struct {
 	// scratch, sized on first use
 	matchRow []int // row -> col or -1
@@ -46,13 +55,30 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 		matchCol[i] = -1
 	}
 
+	// Popcount bound: a matching cannot exceed the number of rows with any
+	// request, nor the number of columns requested by anyone.
+	var liveRows, liveCols uint64
+	for c, w := range m.colReq {
+		liveRows |= w
+		if w != 0 {
+			liveCols |= 1 << uint(c)
+		}
+	}
+	bound := bits.OnesCount64(liveRows)
+	if cb := bits.OnesCount64(liveCols); cb < bound {
+		bound = cb
+	}
+	size := 0
+
 	// Hopcroft–Karp: repeatedly find a maximal set of shortest augmenting
-	// paths via BFS layering + DFS augmentation.
+	// paths via BFS layering + DFS augmentation. Rows outside liveRows
+	// have no edges and are pruned from both phases.
 	dist := a.dist[:m.Rows+1]
-	for {
+	for size < bound {
 		// BFS from free rows. dist[m.Rows] is the nil sentinel.
 		q := a.queue[:0]
-		for r := 0; r < m.Rows; r++ {
+		for lr := liveRows; lr != 0; lr &= lr - 1 {
+			r := bits.TrailingZeros64(lr)
 			if matchRow[r] == -1 {
 				dist[r] = 0
 				q = append(q, r)
@@ -66,10 +92,8 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 			if dist[r] >= dist[m.Rows] {
 				continue
 			}
-			for c := 0; c < m.Cols; c++ {
-				if !m.At(r, c).Valid {
-					continue
-				}
+			for w := m.rowValid[r]; w != 0; w &= w - 1 {
+				c := bits.TrailingZeros64(w)
 				nr := matchCol[c]
 				idx := m.Rows
 				if nr != -1 {
@@ -87,9 +111,11 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 			break // no augmenting path
 		}
 		augmented := false
-		for r := 0; r < m.Rows; r++ {
+		for lr := liveRows; lr != 0; lr &= lr - 1 {
+			r := bits.TrailingZeros64(lr)
 			if matchRow[r] == -1 && a.augment(m, r, matchRow, matchCol, dist) {
 				augmented = true
+				size++
 			}
 		}
 		if !augmented {
@@ -98,7 +124,8 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 	}
 
 	grants := a.grants[:0]
-	for r := 0; r < m.Rows; r++ {
+	for lr := liveRows; lr != 0; lr &= lr - 1 {
+		r := bits.TrailingZeros64(lr)
 		if c := matchRow[r]; c != -1 {
 			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
 		}
@@ -108,10 +135,8 @@ func (a *MCM) Arbitrate(m *Matrix) []Grant {
 }
 
 func (a *MCM) augment(m *Matrix, r int, matchRow, matchCol, dist []int) bool {
-	for c := 0; c < m.Cols; c++ {
-		if !m.At(r, c).Valid {
-			continue
-		}
+	for w := m.rowValid[r]; w != 0; w &= w - 1 {
+		c := bits.TrailingZeros64(w)
 		nr := matchCol[c]
 		idx := m.Rows
 		if nr != -1 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alpha21364/internal/sim"
 )
@@ -20,14 +21,18 @@ import (
 // four. PIM1 — the variant the paper uses in all timing evaluations,
 // because multiple iterations are unimplementable in the 1.2 GHz pipeline —
 // runs exactly one iteration.
+//
+// Bitplane kernel: a column's requesters are ColMask(col) masked by the
+// still-unmatched rows — one AND instead of a row scan — and the random
+// winner is the k-th set bit. The RNG draw order (grant per column
+// ascending, then accept per granted row ascending) matches the retained
+// scalar reference exactly, so seeded runs are byte-identical.
 type PIM struct {
 	iterations int
 	rng        *sim.RNG
 	name       string
 	rowMask    []uint64 // scratch: grants received per row this iteration
 	matchRow   []int
-	matchCol   []int
-	reqs       []int   // scratch: per-column requester list
 	grants     []Grant // reused across calls
 }
 
@@ -53,74 +58,110 @@ func (a *PIM) Name() string { return a.name }
 // Iterations returns the configured iteration count.
 func (a *PIM) Iterations() int { return a.iterations }
 
+// selectByte[b][k] is the position of the k-th (0-based) set bit of the
+// byte b, so nthSetBit resolves within a byte by table lookup instead of
+// a clear-one-bit-per-step loop.
+var selectByte [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		k := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				selectByte[b][k] = uint8(i)
+				k++
+			}
+		}
+	}
+}
+
+// nthSetBit returns the position of the k-th (0-based) set bit of w:
+// popcounts narrow the search to one byte, the table finishes it.
+func nthSetBit(w uint64, k int) int {
+	base := 0
+	if c := bits.OnesCount32(uint32(w)); k >= c {
+		k -= c
+		w >>= 32
+		base = 32
+	}
+	if c := bits.OnesCount16(uint16(w)); k >= c {
+		k -= c
+		w >>= 16
+		base += 16
+	}
+	if c := bits.OnesCount8(uint8(w)); k >= c {
+		k -= c
+		w >>= 8
+		base += 8
+	}
+	return base + int(selectByte[uint8(w)][k])
+}
+
 // Arbitrate implements Arbiter.
 func (a *PIM) Arbitrate(m *Matrix) []Grant {
-	if m.Cols > 64 {
-		panic("core: PIM supports at most 64 columns")
-	}
 	if cap(a.matchRow) < m.Rows {
 		a.matchRow = make([]int, m.Rows)
 		a.rowMask = make([]uint64, m.Rows)
 	}
-	if cap(a.matchCol) < m.Cols {
-		a.matchCol = make([]int, m.Cols)
-	}
 	matchRow := a.matchRow[:m.Rows]
-	matchCol := a.matchCol[:m.Cols]
-	rowMask := a.rowMask[:m.Rows]
-	for i := range matchRow {
-		matchRow[i] = -1
-	}
-	for i := range matchCol {
-		matchCol[i] = -1
+	rowMask := a.rowMask[:m.Rows] // all-zero between calls (see accept step)
+	unmatchedRows := rowsAll(m.Rows)
+	var matchedCols uint64
+
+	// Columns with any request at all; empty columns never draw.
+	var activeCols uint64
+	for c, req := range m.colReq {
+		if req != 0 {
+			activeCols |= 1 << uint(c)
+		}
 	}
 
 	for it := 0; it < a.iterations; it++ {
-		// Grant: each unmatched column collects requests from unmatched
-		// rows and grants one at random.
-		for r := range rowMask {
-			rowMask[r] = 0
-		}
-		anyGrant := false
-		for c := 0; c < m.Cols; c++ {
-			if matchCol[c] != -1 {
+		// Grant: each unmatched column draws one of its still-unmatched
+		// requesters uniformly at random (draw order: columns ascending,
+		// matching the scalar reference).
+		var grantedRows uint64
+		for cw := activeCols &^ matchedCols; cw != 0; cw &= cw - 1 {
+			c := bits.TrailingZeros64(cw)
+			cand := m.colReq[c] & unmatchedRows
+			if cand == 0 {
 				continue
 			}
-			requesters := a.reqs[:0]
-			for r := 0; r < m.Rows; r++ {
-				if matchRow[r] == -1 && m.At(r, c).Valid {
-					requesters = append(requesters, r)
-				}
-			}
-			a.reqs = requesters
-			if len(requesters) == 0 {
-				continue
-			}
-			winner := requesters[a.rng.Intn(len(requesters))]
+			winner := nthSetBit(cand, a.rng.Intn(bits.OnesCount64(cand)))
 			rowMask[winner] |= 1 << uint(c)
-			anyGrant = true
+			grantedRows |= 1 << uint(winner)
 		}
-		if !anyGrant {
+		if grantedRows == 0 {
 			break // converged: no further matches possible
 		}
 		// Accept: each row granted by one or more columns accepts one at
-		// random.
-		for r := 0; r < m.Rows; r++ {
-			if rowMask[r] == 0 {
-				continue
-			}
-			c := a.rng.Pick(rowMask[r])
+		// random — the same one draw per row as the reference's rng.Pick,
+		// resolved with the table-based bit select. Every granted row
+		// accepts, so rowMask returns to zero.
+		for g := grantedRows; g != 0; g &= g - 1 {
+			r := bits.TrailingZeros64(g)
+			gm := rowMask[r]
+			c := nthSetBit(gm, a.rng.Intn(bits.OnesCount64(gm)))
+			rowMask[r] = 0
 			matchRow[r] = c
-			matchCol[c] = r
+			matchedCols |= 1 << uint(c)
+			unmatchedRows &^= 1 << uint(r)
 		}
 	}
 
 	grants := a.grants[:0]
-	for r := 0; r < m.Rows; r++ {
-		if c := matchRow[r]; c != -1 {
-			grants = append(grants, Grant{Row: r, Col: c, Cell: m.At(r, c)})
-		}
+	for g := rowsAll(m.Rows) &^ unmatchedRows; g != 0; g &= g - 1 {
+		r := bits.TrailingZeros64(g)
+		grants = append(grants, Grant{Row: r, Col: matchRow[r], Cell: m.At(r, matchRow[r])})
 	}
 	a.grants = grants
 	return grants
+}
+
+// rowsAll returns the mask with the low n bits set (n <= MaxDim).
+func rowsAll(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
 }

@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // GrantPolicy selects which requesting row an output-port (global) arbiter
 // grants. The 21364's SPAA uses least-recently-selected (LRS); the Rotary
 // Rule variant first restricts the choice to rows fed by network input
@@ -31,33 +33,38 @@ func (p *GrantPolicy) Rotary() bool { return p.rotary }
 // network[i] tells whether rows[i] is fed by a network input port. It
 // returns the index into rows of the winner and records the selection.
 // Select panics if rows is empty.
+//
+// The Rotary Rule restriction is a candidate-index bitmask: when any
+// network candidate is present, the LRS scan iterates only the network
+// indices with TrailingZeros64 instead of re-testing every candidate.
 func (p *GrantPolicy) Select(col int, rows []int, network []bool) int {
 	if len(rows) == 0 {
 		panic("core: Select with no candidates")
 	}
-	considerNetworkOnly := false
+	consider := rowsAll(len(rows)) // candidate indices, not row numbers
 	if p.rotary {
-		for _, n := range network {
+		var netIdx uint64
+		for i, n := range network {
 			if n {
-				considerNetworkOnly = true
-				break
+				netIdx |= 1 << uint(i)
 			}
 		}
+		if netIdx != 0 {
+			consider = netIdx
+		}
 	}
+	last := p.lastSelected[col]
 	best := -1
 	var bestLast int64
-	for i, r := range rows {
-		if considerNetworkOnly && !network[i] {
-			continue
-		}
-		last := p.lastSelected[col][r]
+	for im := consider; im != 0; im &= im - 1 {
+		i := bits.TrailingZeros64(im)
 		// Least recently selected wins; ties break toward the lowest row
 		// index, which is deterministic and matches a fixed priority chain.
-		if best == -1 || last < bestLast {
-			best, bestLast = i, last
+		if l := last[rows[i]]; best == -1 || l < bestLast {
+			best, bestLast = i, l
 		}
 	}
 	p.clock++
-	p.lastSelected[col][rows[best]] = p.clock
+	last[rows[best]] = p.clock
 	return best
 }

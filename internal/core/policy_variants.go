@@ -1,12 +1,20 @@
 package core
 
-import "alpha21364/internal/sim"
+import (
+	"math/bits"
+
+	"alpha21364/internal/sim"
+)
 
 // The paper's §3 lists the output-port selection policies routers have
 // used: "random [METRO], round-robin [Cray T3E], least-recently selected
 // [IBM Vulcan], some kind of a priority chain [Torus Routing Chip], or the
 // Rotary Rule". SPAA ships with least-recently selected; these variants
 // let the design space be explored (see BenchmarkAblationGrantPolicy).
+// Like the arbitration kernels, the rotating variants resolve their winner
+// on a candidate bitmask — a rotate plus TrailingZeros64 — rather than a
+// distance scan; reference.go retains the scalar forms as the differential
+// oracle.
 
 // SelectPolicy picks the winning row for an output column among candidate
 // rows. Implementations carry per-column fairness state.
@@ -54,20 +62,25 @@ func NewRoundRobinPolicy(rows, cols int) *RoundRobin {
 // Name implements SelectPolicy.
 func (rr *RoundRobin) Name() string { return "round-robin" }
 
-// Select implements SelectPolicy.
+// Select implements SelectPolicy. The candidate rows (reduced mod the
+// matrix height, matching the scalar distance arithmetic) form a bitmask;
+// the winner is the first set bit at or cyclically after the pointer.
 func (rr *RoundRobin) Select(col int, rows []int, network []bool) int {
 	if len(rows) == 0 {
 		panic("core: Select with no candidates")
 	}
-	best, bestDist := 0, rr.rows
+	var mask uint64
+	for _, r := range rows {
+		mask |= 1 << uint(r%rr.rows)
+	}
+	win := firstFrom(mask, rr.ptr[col], rr.rows)
+	rr.ptr[col] = (win + 1) % rr.rows
 	for i, r := range rows {
-		d := (r - rr.ptr[col] + rr.rows) % rr.rows
-		if d < bestDist {
-			best, bestDist = i, d
+		if r%rr.rows == win {
+			return i
 		}
 	}
-	rr.ptr[col] = (rows[best] + 1) % rr.rows
-	return best
+	panic("core: round-robin winner not among candidates")
 }
 
 // Random grants a uniformly random requesting row, as in the MIT METRO
@@ -100,16 +113,31 @@ func NewPriorityChainPolicy() PriorityChain { return PriorityChain{} }
 // Name implements SelectPolicy.
 func (PriorityChain) Name() string { return "priority-chain" }
 
-// Select implements SelectPolicy.
+// Select implements SelectPolicy: the lowest candidate row wins, found as
+// the trailing set bit of the candidate mask.
 func (PriorityChain) Select(col int, rows []int, network []bool) int {
 	if len(rows) == 0 {
 		panic("core: Select with no candidates")
 	}
-	best := 0
+	var mask uint64
+	for _, r := range rows {
+		if r < 0 || r >= 64 {
+			// Row numbers beyond the word: fall back to the scalar scan.
+			best := 0
+			for i, rr := range rows {
+				if rr < rows[best] {
+					best = i
+				}
+			}
+			return best
+		}
+		mask |= 1 << uint(r)
+	}
+	win := bits.TrailingZeros64(mask)
 	for i, r := range rows {
-		if r < rows[best] {
-			best = i
+		if r == win {
+			return i
 		}
 	}
-	return best
+	panic("core: priority-chain winner not among candidates")
 }

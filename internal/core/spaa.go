@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // SPAA is the Simple Pipelined Arbitration Algorithm implemented in the
 // Alpha 21364 router — the paper's contribution (§3.3). Its three steps:
 //
@@ -26,6 +28,11 @@ package core
 // second read port exists so that two multi-cycle packet reads of one
 // input buffer can be in flight at once, not to double the per-cycle
 // nomination rate.
+//
+// Bitplane kernel: a port's oldest-packet scan walks PortRowMask x
+// RowMask words with TrailingZeros64, visiting only valid cells instead of
+// the port's whole Rows x Cols slab, and the adaptive second-direction
+// probe iterates the row's remaining validity word.
 type SPAA struct {
 	policy *GrantPolicy
 	// colPref[row] rotates the column choice when a packet could be
@@ -74,18 +81,12 @@ func (a *SPAA) Policy(rows, cols int) *GrantPolicy {
 // Exported separately because the timing router pipelines nomination and
 // grant across cycles.
 func (a *SPAA) Nominate(m *Matrix) []Grant {
-	ports := 0
-	for _, p := range m.RowPort {
-		if int(p)+1 > ports {
-			ports = int(p) + 1
-		}
-	}
 	if len(a.colPref) < m.Rows {
 		a.colPref = make([]int, m.Rows)
 	}
 
 	noms := a.noms[:0]
-	for p := 0; p < ports; p++ {
+	for p := 0; p < m.Ports(); p++ {
 		row, col, ok := a.nominatePort(m, p)
 		if ok {
 			noms = append(noms, Grant{Row: row, Col: col, Cell: m.At(row, col)})
@@ -101,15 +102,12 @@ func (a *SPAA) Nominate(m *Matrix) []Grant {
 func (a *SPAA) nominatePort(m *Matrix, port int) (row, col int, ok bool) {
 	bestRow, bestCol := -1, -1
 	var best Cell
-	for r := 0; r < m.Rows; r++ {
-		if int(m.RowPort[r]) != port {
-			continue
-		}
-		for c := 0; c < m.Cols; c++ {
-			cell := m.At(r, c)
-			if !cell.Valid {
-				continue
-			}
+	for rm := m.portRows[port]; rm != 0; rm &= rm - 1 {
+		r := bits.TrailingZeros64(rm)
+		base := r * m.Cols
+		for cm := m.rowValid[r]; cm != 0; cm &= cm - 1 {
+			c := bits.TrailingZeros64(cm)
+			cell := m.cells[base+c]
 			if bestRow == -1 || cell.Age < best.Age ||
 				(cell.Age == best.Age && cell.Key < best.Key) {
 				bestRow, bestCol, best = r, c, cell
@@ -122,12 +120,10 @@ func (a *SPAA) nominatePort(m *Matrix, port int) (row, col int, ok bool) {
 	// The oldest packet may appear in one more column of its row (adaptive
 	// routing allows at most two); alternate between the two choices.
 	otherCol := -1
-	for c := 0; c < m.Cols; c++ {
-		if c == bestCol {
-			continue
-		}
-		cell := m.At(bestRow, c)
-		if cell.Valid && cell.Key == best.Key {
+	base := bestRow * m.Cols
+	for cm := m.rowValid[bestRow] &^ (1 << uint(bestCol)); cm != 0; cm &= cm - 1 {
+		c := bits.TrailingZeros64(cm)
+		if m.cells[base+c].Key == best.Key {
 			otherCol = c
 			break
 		}
@@ -148,23 +144,25 @@ func (a *SPAA) nominatePort(m *Matrix, port int) (row, col int, ok bool) {
 // router their nomination lock is cleared).
 func (a *SPAA) Grant(m *Matrix, noms []Grant) []Grant {
 	policy := a.Policy(m.Rows, m.Cols)
+	var nomCols uint64
+	for i := range noms {
+		nomCols |= 1 << uint(noms[i].Col)
+	}
 	grants := a.grants[:0]
-	for c := 0; c < m.Cols; c++ {
+	for w := nomCols; w != 0; w &= w - 1 {
+		c := bits.TrailingZeros64(w)
 		a.nomRow = a.nomRow[:0]
 		a.nomNet = a.nomNet[:0]
 		a.nomCell = a.nomCell[:0]
 		for _, n := range noms {
 			if n.Col == c {
 				a.nomRow = append(a.nomRow, n.Row)
-				a.nomNet = append(a.nomNet, m.RowNetwork[n.Row])
+				a.nomNet = append(a.nomNet, m.netRows&(1<<uint(n.Row)) != 0)
 				a.nomCell = append(a.nomCell, n.Cell)
 			}
 		}
-		if len(a.nomRow) == 0 {
-			continue
-		}
-		w := policy.Select(c, a.nomRow, a.nomNet)
-		grants = append(grants, Grant{Row: a.nomRow[w], Col: c, Cell: a.nomCell[w]})
+		i := policy.Select(c, a.nomRow, a.nomNet)
+		grants = append(grants, Grant{Row: a.nomRow[i], Col: c, Cell: a.nomCell[i]})
 	}
 	a.grants = grants
 	return grants

@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // WFA is the (wrapped) Wave-Front Arbiter of Tamir and Chi, as implemented
 // in the SGI Spider switch (paper §3.2). The connection matrix is evaluated
 // as a systolic wave: a cell (i,j) receives a grant when it has a request
@@ -18,12 +20,20 @@ package core
 //     only then lets local-input rows claim the leftover columns. This
 //     realizes the Rotary Rule's strict cross-traffic-first priority in
 //     wave-front form.
+//
+// Bitplane kernel: each valid cell is bucketed once into a per-diagonal
+// row word (the rotated-mask trick: cell (i,j) lands in diagonal word
+// (i+j) mod n at bit i, so a row's validity word enters the table rotated
+// by its row index). The wave then walks diagonal words ANDed with the
+// free-row mask — a diagonal with no surviving candidates costs two ops —
+// and within a diagonal each candidate row determines its column uniquely,
+// so the branchy (diagonal x row) scalar sweep collapses to popcount-many
+// bit iterations.
 type WFA struct {
 	rotary  bool
 	counter int64
-	rowUsed []bool
-	colUsed []bool
-	grants  []Grant // reused across calls
+	diag    []uint64 // per-diagonal candidate-row words, rebuilt per pass
+	grants  []Grant  // reused across calls
 }
 
 // NewWFA returns the base wave-front arbiter (round-robin start).
@@ -45,29 +55,41 @@ func (a *WFA) Rotary() bool { return a.rotary }
 
 // Arbitrate implements Arbiter.
 func (a *WFA) Arbitrate(m *Matrix) []Grant {
-	if cap(a.rowUsed) < m.Rows {
-		a.rowUsed = make([]bool, m.Rows)
+	n := m.Rows // diagonal modulus; Rows >= Cols in the 21364 (16 x 7)
+	if m.Cols > n {
+		n = m.Cols
 	}
-	if cap(a.colUsed) < m.Cols {
-		a.colUsed = make([]bool, m.Cols)
+	if cap(a.diag) < n {
+		a.diag = make([]uint64, n)
 	}
-	rowUsed := a.rowUsed[:m.Rows]
-	colUsed := a.colUsed[:m.Cols]
-	for i := range rowUsed {
-		rowUsed[i] = false
+	diag := a.diag[:n]
+	for d := range diag {
+		diag[d] = 0
 	}
-	for i := range colUsed {
-		colUsed[i] = false
+	// Bucket valid cells: wrapped diagonal (i+j) mod n holds at most one
+	// cell per row (j ≡ d-i is unique), so bit i in diag[d] names cell
+	// (i, (d-i) mod n) exactly.
+	for i := 0; i < m.Rows; i++ {
+		for w := m.rowValid[i]; w != 0; w &= w - 1 {
+			d := i + bits.TrailingZeros64(w)
+			if d >= n {
+				d -= n
+			}
+			diag[d] |= 1 << uint(i)
+		}
 	}
 
+	rowFree := rowsAll(m.Rows)
+	colFree := rowsAll(m.Cols)
 	grants := a.grants[:0]
 	if a.rotary {
 		// Rotary Rule: network-input rows sweep first at rotating priority;
 		// local rows then fill the remaining columns.
-		grants = a.wave(m, rowUsed, colUsed, func(r int) bool { return m.RowNetwork[r] }, grants)
-		grants = a.wave(m, rowUsed, colUsed, func(r int) bool { return !m.RowNetwork[r] }, grants)
+		net := m.netRows
+		grants = a.wave(m, diag, n, &rowFree, &colFree, net, grants)
+		grants = a.wave(m, diag, n, &rowFree, &colFree, ^net, grants)
 	} else {
-		grants = a.wave(m, rowUsed, colUsed, func(int) bool { return true }, grants)
+		grants = a.wave(m, diag, n, &rowFree, &colFree, ^uint64(0), grants)
 	}
 	a.counter++
 	a.grants = grants
@@ -77,33 +99,26 @@ func (a *WFA) Arbitrate(m *Matrix) []Grant {
 // wave runs one wrapped wave-front over the rows selected by include,
 // starting from the rotating diagonal, honoring rows/columns already
 // claimed by an earlier pass.
-func (a *WFA) wave(m *Matrix, rowUsed, colUsed []bool, include func(int) bool, grants []Grant) []Grant {
-	n := m.Rows // diagonal modulus; Rows >= Cols in the 21364 (16 x 7)
-	if m.Cols > n {
-		n = m.Cols
-	}
+func (a *WFA) wave(m *Matrix, diag []uint64, n int, rowFree, colFree *uint64, include uint64, grants []Grant) []Grant {
 	start := int(a.counter) % n
 	for step := 0; step < n; step++ {
-		d := (start + step) % n
-		// Wrapped diagonal d holds cells with (i + j) mod n == d. Cells in
-		// one diagonal are row- and column-disjoint, so order within the
-		// diagonal doesn't matter.
-		for i := 0; i < m.Rows; i++ {
-			if !include(i) {
+		d := start + step
+		if d >= n {
+			d -= n
+		}
+		// Candidates on diagonal d that are included, unclaimed, and valid;
+		// iterating set bits ascending preserves the scalar row order.
+		for cand := diag[d] & *rowFree & include; cand != 0; cand &= cand - 1 {
+			i := bits.TrailingZeros64(cand)
+			j := d - i
+			if j < 0 {
+				j += n
+			}
+			if *colFree&(1<<uint(j)) == 0 {
 				continue
 			}
-			j := (d - i%n + n) % n
-			if j >= m.Cols {
-				continue
-			}
-			if rowUsed[i] || colUsed[j] {
-				continue
-			}
-			if !m.At(i, j).Valid {
-				continue
-			}
-			rowUsed[i] = true
-			colUsed[j] = true
+			*rowFree &^= 1 << uint(i)
+			*colFree &^= 1 << uint(j)
 			grants = append(grants, Grant{Row: i, Col: j, Cell: m.At(i, j)})
 		}
 	}

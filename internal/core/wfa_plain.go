@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // WFAPlain is the original, non-wrapped Wave-Front Arbiter of Tamir and
 // Chi: a single wave sweeps the matrix from the top-left arbitration cell,
 // evaluating plain diagonals i+j = 0, 1, ... in order. Without wrapping
@@ -10,11 +12,12 @@ package core
 // starting multiple wavefronts in parallel" (§3.2).
 //
 // WFAPlain exists for the fairness ablation and tests; it is not one of
-// the paper's measured configurations.
+// the paper's measured configurations. It uses the same per-diagonal
+// row-word bucketing as the wrapped kernel (see wfa.go), minus the wrap:
+// plain diagonal d = i + j holds at most one cell per row.
 type WFAPlain struct {
-	rowUsed []bool
-	colUsed []bool
-	grants  []Grant // reused across calls
+	diag   []uint64
+	grants []Grant // reused across calls
 }
 
 // NewWFAPlain returns the fixed-priority, non-wrapped wave-front arbiter.
@@ -25,34 +28,34 @@ func (a *WFAPlain) Name() string { return "WFA-plain" }
 
 // Arbitrate implements Arbiter.
 func (a *WFAPlain) Arbitrate(m *Matrix) []Grant {
-	if cap(a.rowUsed) < m.Rows {
-		a.rowUsed = make([]bool, m.Rows)
+	nd := m.Rows + m.Cols - 1
+	if cap(a.diag) < nd {
+		a.diag = make([]uint64, nd)
 	}
-	if cap(a.colUsed) < m.Cols {
-		a.colUsed = make([]bool, m.Cols)
+	diag := a.diag[:nd]
+	for d := range diag {
+		diag[d] = 0
 	}
-	rowUsed := a.rowUsed[:m.Rows]
-	colUsed := a.colUsed[:m.Cols]
-	for i := range rowUsed {
-		rowUsed[i] = false
+	for i := 0; i < m.Rows; i++ {
+		for w := m.rowValid[i]; w != 0; w &= w - 1 {
+			diag[i+bits.TrailingZeros64(w)] |= 1 << uint(i)
+		}
 	}
-	for i := range colUsed {
-		colUsed[i] = false
-	}
+
+	rowFree := rowsAll(m.Rows)
+	colFree := rowsAll(m.Cols)
 	grants := a.grants[:0]
-	for d := 0; d <= m.Rows+m.Cols-2; d++ {
+	for d := 0; d < nd; d++ {
 		// Plain diagonal d: cells (i, d-i). Conflict-free within the
 		// diagonal, strictly ordered across diagonals.
-		for i := 0; i < m.Rows; i++ {
+		for cand := diag[d] & rowFree; cand != 0; cand &= cand - 1 {
+			i := bits.TrailingZeros64(cand)
 			j := d - i
-			if j < 0 || j >= m.Cols {
+			if colFree&(1<<uint(j)) == 0 {
 				continue
 			}
-			if rowUsed[i] || colUsed[j] || !m.At(i, j).Valid {
-				continue
-			}
-			rowUsed[i] = true
-			colUsed[j] = true
+			rowFree &^= 1 << uint(i)
+			colFree &^= 1 << uint(j)
 			grants = append(grants, Grant{Row: i, Col: j, Cell: m.At(i, j)})
 		}
 	}

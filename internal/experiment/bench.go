@@ -22,11 +22,12 @@ import (
 	"runtime"
 	"time"
 
+	"alpha21364/internal/core"
 	"alpha21364/internal/sim"
 )
 
 // BenchVersion is the BENCH_*.json schema version.
-const BenchVersion = 6
+const BenchVersion = 9
 
 // BenchEntry is one benchmark workload: a Spec plus the simulated-cycle
 // accounting needed to normalize its cost.
@@ -37,6 +38,11 @@ type BenchEntry struct {
 	// of the monolithic Runner, so the plan/merge overhead of the sweep
 	// service is part of the gated cost.
 	Shards int
+	// Arbiter, when non-empty, makes this an arbitration microbenchmark:
+	// the named kernel's Arbitrate over a fixed matrix ladder, no
+	// simulation around it. Spec and Shards are ignored; the entry's
+	// NSPerSimCycle is nanoseconds per arbitration.
+	Arbiter string
 }
 
 // BenchSuite returns the fixed benchmark workloads:
@@ -49,8 +55,24 @@ type BenchEntry struct {
 //     sweep workloads;
 //   - coordinated-4x4-matrix: the same matrix through the sharded
 //     Coordinator (no cache), so shard planning and merging stay within
-//     tolerance of the monolithic path.
+//     tolerance of the monolithic path;
+//   - arbitrate-<kind>: one entry per arbitration kernel, timing bare
+//     Arbitrate calls over a deterministic matrix ladder (the same
+//     workload as internal/core's BenchmarkArbitrate), so a kernel
+//     regression is attributed to its algorithm rather than smeared
+//     across whole-simulation entries.
 func BenchSuite() []BenchEntry {
+	entries := benchSimEntries()
+	for k := core.Kind(0); k < core.NumKinds; k++ {
+		entries = append(entries, BenchEntry{
+			Name:    "arbitrate-" + k.String(),
+			Arbiter: k.String(),
+		})
+	}
+	return entries
+}
+
+func benchSimEntries() []BenchEntry {
 	return []BenchEntry{
 		{
 			Name: "figure8-saturated",
@@ -152,6 +174,73 @@ func calibrate() float64 {
 	return float64(elapsed.Nanoseconds()) / calibrationIters
 }
 
+// arbitrateBenchCalls is the Arbitrate call count per microbench entry;
+// at a few hundred nanoseconds per call an entry costs tens of
+// milliseconds.
+const arbitrateBenchCalls = 100_000
+
+// arbitrateBenchMatrices prebuilds the deterministic density ladder of
+// router-shaped request matrices the microbench entries share (the same
+// construction as internal/core's BenchmarkArbitrate).
+func arbitrateBenchMatrices() []*core.Matrix {
+	rng := sim.NewRNG(0xB157)
+	ms := make([]*core.Matrix, 32)
+	for i := range ms {
+		m := core.NewRouterMatrix()
+		density := float64(i%8+1) / 8
+		key := uint64(1)
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if rng.Bernoulli(density) {
+					m.Set(r, c, int64(rng.Intn(1000)), key, 0)
+					key++
+				}
+			}
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// runArbitrateBench times bare Arbitrate calls for one kernel over the
+// shared matrix ladder. ns/arbitration lands in NSPerSimCycle (SimCycles
+// is the call count), and the allocation accounting runs after a warmup
+// pass so the scratch-sizing allocations are excluded — steady state must
+// stay at zero.
+func runArbitrateBench(kindName string, ms []*core.Matrix) (BenchEntryResult, error) {
+	kind, err := core.ParseKind(kindName)
+	if err != nil {
+		return BenchEntryResult{}, err
+	}
+	arb := core.New(kind, sim.NewRNG(2))
+	for _, m := range ms {
+		arb.Arbitrate(m)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < arbitrateBenchCalls; i++ {
+		arb.Arbitrate(ms[i%len(ms)])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	mallocs := int64(after.Mallocs - before.Mallocs)
+	r := BenchEntryResult{
+		Name:          "arbitrate-" + kind.String(),
+		Points:        len(ms),
+		SimCycles:     arbitrateBenchCalls,
+		ElapsedNS:     elapsed.Nanoseconds(),
+		NSPerSimCycle: float64(elapsed.Nanoseconds()) / arbitrateBenchCalls,
+		AllocsPerOp:   float64(mallocs) / float64(len(ms)),
+	}
+	r.AllocsPerCycle = float64(mallocs) / arbitrateBenchCalls
+	if elapsed > 0 {
+		r.PointsPerSec = float64(arbitrateBenchCalls) / elapsed.Seconds()
+	}
+	return r, nil
+}
+
 // entryCycles derives the simulated-cycle total of a spec's expansion.
 func entryCycles(sp Spec, points int) int64 {
 	perPoint := int64(0)
@@ -174,7 +263,19 @@ func RunBench(ctx context.Context) (*BenchReport, error) {
 		GoVersion:     runtime.Version(),
 	}
 	runner := NewRunner(WithWorkers(1))
+	var arbMatrices []*core.Matrix
 	for _, entry := range BenchSuite() {
+		if entry.Arbiter != "" {
+			if arbMatrices == nil {
+				arbMatrices = arbitrateBenchMatrices()
+			}
+			r, err := runArbitrateBench(entry.Arbiter, arbMatrices)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %w", entry.Name, err)
+			}
+			report.Entries = append(report.Entries, r)
+			continue
+		}
 		if err := entry.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("bench %s: %w", entry.Name, err)
 		}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"alpha21364/internal/core"
 	"alpha21364/internal/obs"
@@ -575,16 +576,16 @@ func (r *Router) buildWave(now sim.Ticks) bool {
 	if !any {
 		return false
 	}
-	// Lock every packet that made it into a cell.
+	// Lock every packet that made it into a cell, walking the matrix's
+	// row validity words instead of rescanning every cell.
 	for row := 0; row < ports.NumRows; row++ {
-		for col := 0; col < int(ports.NumOut); col++ {
-			if r.matrix.At(row, col).Valid {
-				pk := r.waveCells[row][col].pk
-				s.flags[pk] |= pkNominated
-				r.Counters.Nominations++
-				if f := r.flight; f != nil {
-					f.Record(now, obs.FlightNominate, s.pkt[pk].ID, s.in[pk], s.ch[pk], ports.Out(col))
-				}
+		for w := r.matrix.RowMask(row); w != 0; w &= w - 1 {
+			col := bits.TrailingZeros64(w)
+			pk := r.waveCells[row][col].pk
+			s.flags[pk] |= pkNominated
+			r.Counters.Nominations++
+			if f := r.flight; f != nil {
+				f.Record(now, obs.FlightNominate, s.pkt[pk].ID, s.in[pk], s.ch[pk], ports.Out(col))
 			}
 		}
 	}
@@ -644,12 +645,11 @@ func (r *Router) resolveWave(now sim.Ticks) {
 		}
 		r.dispatch(cell.pk, ports.Out(g.Col), cell.targetCh, cell.local, now)
 	}
-	// Unlock every nominated packet that was not dispatched.
+	// Unlock every nominated packet that was not dispatched; the row
+	// validity words name exactly the cells the wave populated.
 	for row := 0; row < ports.NumRows; row++ {
-		for col := 0; col < int(ports.NumOut); col++ {
-			if !r.matrix.At(row, col).Valid {
-				continue
-			}
+		for w := r.matrix.RowMask(row); w != 0; w &= w - 1 {
+			col := bits.TrailingZeros64(w)
 			if pk := r.waveCells[row][col].pk; pk >= 0 && r.slab.flags[pk]&pkNominated != 0 {
 				r.reset(pk, now)
 			}

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // RNG is a small, fast, deterministic random number generator
 // (xoshiro256**), independent of the Go standard library's generator so
 // that simulation results are reproducible across Go releases. The zero
@@ -37,6 +39,14 @@ func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// intnThreshold[n] is Intn's rejection threshold -n % n for small n.
+var intnThreshold = func() (t [129]uint64) {
+	for n := uint64(1); n < uint64(len(t)); n++ {
+		t[n] = -n % n
+	}
+	return
+}()
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
@@ -55,11 +65,25 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
+	bound := uint64(n)
+	if bound&(bound-1) == 0 {
+		// Powers of two (including the very common n = 1 and n = 2 from
+		// arbitration draws) never reject and reduce by masking. The
+		// returned value and the number of Uint64 draws are identical to
+		// the general path: its threshold is 0 and v % bound == v & (bound-1).
+		return int(r.Uint64() & (bound - 1))
+	}
 	// Lemire's nearly-divisionless method would be overkill here; modulo
 	// bias is negligible for the small n used by arbitration policies, but
-	// we reject to keep the distribution exact.
-	bound := uint64(n)
-	threshold := -bound % bound
+	// we reject to keep the distribution exact. The rejection threshold
+	// for the small bounds arbitration draws use comes from a table, which
+	// saves one of the two divisions per draw.
+	var threshold uint64
+	if bound < uint64(len(intnThreshold)) {
+		threshold = intnThreshold[bound]
+	} else {
+		threshold = -bound % bound
+	}
 	for {
 		v := r.Uint64()
 		if v >= threshold {
@@ -103,29 +127,16 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 }
 
 // Pick returns a uniform element index among k candidates encoded as a
-// bitmask over 64 positions. It panics if mask is zero.
+// bitmask over 64 positions. It panics if mask is zero. The k-th set bit
+// is located by clearing k low set bits and taking the trailing-zero
+// count, so the cost tracks the popcount rather than the word width.
 func (r *RNG) Pick(mask uint64) int {
-	n := popcount(mask)
+	n := bits.OnesCount64(mask)
 	if n == 0 {
 		panic("sim: Pick with empty mask")
 	}
-	k := r.Intn(n)
-	for i := 0; i < 64; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			if k == 0 {
-				return i
-			}
-			k--
-		}
+	for k := r.Intn(n); k > 0; k-- {
+		mask &= mask - 1
 	}
-	panic("unreachable")
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
+	return bits.TrailingZeros64(mask)
 }

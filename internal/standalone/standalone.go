@@ -17,6 +17,7 @@
 package standalone
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -86,16 +87,22 @@ type spkt struct {
 // spktRing is a fixed-capacity FIFO of queued packets. Grants almost
 // always remove packets near the front (the oldest), so removal shifts
 // the shorter side — O(position) instead of an O(queue) memmove of the
-// 316-entry buffer.
+// 316-entry buffer. dst mirrors each packet's destination mask in a
+// parallel byte array so buildMatrix's skip-scan reads one byte per
+// packet (eight per word) instead of the 24-byte packet struct.
 type spktRing struct {
 	buf  []spkt
+	dst  []uint8
 	head int
 	n    int
 }
 
-func (r *spktRing) init(capacity int) { r.buf = make([]spkt, capacity) }
-func (r *spktRing) len() int          { return r.n }
-func (r *spktRing) full() bool        { return r.n == len(r.buf) }
+func (r *spktRing) init(capacity int) {
+	r.buf = make([]spkt, capacity)
+	r.dst = make([]uint8, capacity)
+}
+func (r *spktRing) len() int   { return r.n }
+func (r *spktRing) full() bool { return r.n == len(r.buf) }
 
 func (r *spktRing) slot(i int) int {
 	s := r.head + i
@@ -107,20 +114,40 @@ func (r *spktRing) slot(i int) int {
 
 func (r *spktRing) at(i int) *spkt { return &r.buf[r.slot(i)] }
 
-func (r *spktRing) push(p spkt) {
-	r.buf[r.slot(r.n)] = p
+// spans returns the index ranges [a0,a1) and [b0,b1) into the backing
+// arrays covering the first n queued packets, oldest first — at most two
+// contiguous runs, so scans avoid per-element slot arithmetic.
+func (r *spktRing) spans(n int) (a0, a1, b1 int) {
+	if r.head+n <= len(r.buf) {
+		return r.head, r.head + n, 0
+	}
+	return r.head, len(r.buf), r.head + n - len(r.buf)
+}
+
+// push appends a packet. rowBit (0 or rowBitFlag) is the packet's static
+// read-port row assignment, stored in the destination byte's spare high
+// bit (NumOut = 7 destinations fit the low bits) for the free-output
+// matrix build.
+func (r *spktRing) push(p spkt, rowBit uint8) {
+	s := r.slot(r.n)
+	r.buf[s] = p
+	r.dst[s] = uint8(p.dests) | rowBit
 	r.n++
 }
 
 func (r *spktRing) removeAt(i int) {
 	if i < r.n-1-i {
 		for j := i; j > 0; j-- {
-			r.buf[r.slot(j)] = r.buf[r.slot(j-1)]
+			s, sp := r.slot(j), r.slot(j-1)
+			r.buf[s] = r.buf[sp]
+			r.dst[s] = r.dst[sp]
 		}
 		r.head = r.slot(1)
 	} else {
 		for j := i; j < r.n-1; j++ {
-			r.buf[r.slot(j)] = r.buf[r.slot(j+1)]
+			s, sn := r.slot(j), r.slot(j+1)
+			r.buf[s] = r.buf[sn]
+			r.dst[s] = r.dst[sn]
 		}
 	}
 	r.n--
@@ -149,13 +176,21 @@ type model struct {
 	// matrix so destsFor draws without building the lists per arrival.
 	localChoices [ports.NumIn][]ports.Out
 	netChoices   [ports.NumIn][]ports.Out
+	// rowMasks caches each input port's two read-port row connection
+	// masks for the arrival-time row assignment.
+	rowMasks [ports.NumIn][2]ports.OutMask
 	// colCount[in][out] counts queued packets at input port in whose
 	// destination set includes out, maintained incrementally on push and
-	// drain. buildMatrix uses it to shrink its early-exit target to the
+	// drain; colMask[in] caches the mask of outs with a nonzero count.
+	// buildMatrix uses the mask to shrink its early-exit target to the
 	// columns that can actually still fill — the residual queue of an
 	// effective arbiter is dominated by a few contested columns, and
 	// without this bound the scan degenerates to the full window.
 	colCount [ports.NumIn][ports.NumOut]int32
+	colMask  [ports.NumIn]ports.OutMask
+	// queued is the total packets across all queues, maintained on push
+	// and drain.
+	queued int
 	// rowOf remembers which row nominated each key this cycle, for grant
 	// bookkeeping.
 	nextKey uint64
@@ -164,19 +199,17 @@ type model struct {
 // trafficCols returns the mask of columns with at least one queued
 // packet at the port.
 func (m *model) trafficCols(in ports.In) ports.OutMask {
-	var mask ports.OutMask
-	for o := ports.Out(0); o < ports.NumOut; o++ {
-		if m.colCount[in][o] > 0 {
-			mask = mask.With(o)
-		}
-	}
-	return mask
+	return m.colMask[in]
 }
 
 func (m *model) countDests(in ports.In, dests ports.OutMask, delta int32) {
-	for o := ports.Out(0); o < ports.NumOut; o++ {
-		if dests.Has(o) {
-			m.colCount[in][o] += delta
+	for d := dests; d != 0; d &= d - 1 {
+		o := ports.Out(bits.TrailingZeros8(uint8(d)))
+		m.colCount[in][o] += delta
+		if m.colCount[in][o] > 0 {
+			m.colMask[in] = m.colMask[in].With(o)
+		} else {
+			m.colMask[in] &^= 1 << uint(o)
 		}
 	}
 }
@@ -187,9 +220,27 @@ func newModel(cfg Config) *model {
 		legal := cfg.Conn.LegalOuts(in)
 		m.localChoices[in] = maskList(legal & ports.LocalOuts)
 		m.netChoices[in] = maskList(legal & ports.NetworkOuts)
+		m.rowMasks[in][0] = cfg.Conn[ports.Row(in, 0)]
+		m.rowMasks[in][1] = cfg.Conn[ports.Row(in, 1)]
 		m.queues[in].init(cfg.QueueCap)
 	}
 	return m
+}
+
+// rowBitFlag marks a row-1 assignment in a queue's destination byte.
+const rowBitFlag = 0x80
+
+// assignBit computes a packet's static read-port row with all outputs
+// free: the row whose connection mask covers more of the packet's
+// candidate outputs, ties broken by key parity — the same rule
+// buildMatrix applies, evaluated once at arrival.
+func (m *model) assignBit(in ports.In, p *spkt) uint8 {
+	c0 := (p.dests & m.rowMasks[in][0]).Count()
+	c1 := (p.dests & m.rowMasks[in][1]).Count()
+	if c1 > c0 || (c1 == c0 && c0 != 0 && p.key%2 == 1) {
+		return rowBitFlag
+	}
+	return 0
 }
 
 // arrive generates this cycle's arrivals.
@@ -208,8 +259,9 @@ func (m *model) arrive(cycle int64) (offered, dropped int) {
 			age:   cycle,
 			dests: m.destsFor(in),
 		}
-		m.queues[in].push(p)
+		m.queues[in].push(p, m.assignBit(in, &p))
 		m.countDests(in, p.dests, 1)
+		m.queued++
 		m.nextKey++
 	}
 	return offered, dropped
@@ -254,6 +306,12 @@ func maskList(m ports.OutMask) []ports.Out {
 func (m *model) buildMatrix(busy ports.OutMask) {
 	mat := m.matrix
 	mat.Reset()
+	if busy == 0 {
+		// All outputs free: every packet's read-port row is the one
+		// precomputed at arrival, so the two rows scan independently.
+		m.buildMatrixFree()
+		return
+	}
 	for in := ports.In(0); in < ports.NumIn; in++ {
 		q := &m.queues[in]
 		limit := q.len()
@@ -275,30 +333,119 @@ func (m *model) buildMatrix(busy ports.OutMask) {
 		traffic := m.trafficCols(in)
 		need0 := mask0 &^ busy & traffic
 		need1 := mask1 &^ busy & traffic
-		for i := 0; i < limit && need0|need1 != 0; i++ {
-			p := q.at(i)
-			avail := p.dests &^ busy
-			if avail&(need0|need1) == 0 {
+		// The ring is walked oldest-first as (at most) two contiguous
+		// runs of the parallel destination-byte array, eight packets per
+		// uint64 load: a chunk with no byte intersecting the still-needed
+		// columns is skipped with one AND. need0/need1 have no busy bits,
+		// so dests∩need ≠ 0 is exactly the old avail∩need ≠ 0 entry test,
+		// and within a chunk hits are taken lowest byte first — the same
+		// oldest-first order as the scalar scan.
+		a0, a1, b1 := q.spans(limit)
+		for _, span := range [2][2]int{{a0, a1}, {0, b1}} {
+			if need0|need1 == 0 {
+				break
+			}
+			i, end := span[0], span[1]
+			for i < end && need0|need1 != 0 {
+				if end-i >= 8 {
+					w := binary.LittleEndian.Uint64(q.dst[i:])
+					hits := w & (0x0101010101010101 * uint64(need0|need1))
+					if hits == 0 {
+						i += 8
+						continue
+					}
+					i += bits.TrailingZeros64(hits) >> 3
+				}
+				p := &q.buf[i]
+				avail := p.dests &^ busy
+				if avail&(need0|need1) == 0 {
+					i++
+					continue
+				}
+				// Assign the packet to the read port that covers more of its
+				// candidate outputs; break ties by packet key.
+				c0, c1 := (avail & mask0).Count(), (avail & mask1).Count()
+				row, rowMask, need := row0, mask0, &need0
+				switch {
+				case c1 > c0:
+					row, rowMask, need = row1, mask1, &need1
+				case c1 == c0 && c0 == 0:
+					i++
+					continue
+				case c1 == c0 && p.key%2 == 1:
+					row, rowMask, need = row1, mask1, &need1
+				}
+				// SetMany writes the whole contribution mask in one call,
+				// updating the matrix's row validity word once.
+				contrib := avail & rowMask & *need
+				mat.SetMany(row, uint64(contrib), p.age, p.key, int32(in))
+				*need &^= contrib
+				i++
+			}
+		}
+	}
+}
+
+// buildMatrixFree is buildMatrix for the no-busy-outputs case. With
+// avail == dests for every packet, the read-port row each packet targets
+// is the static assignment stored in its destination byte's high bit, so
+// the two rows of a port fill from independent scans: a packet assigned
+// to the other row — the dominant wasted visit in the shared scan under
+// weak matchings — is skipped inside the SWAR chunk test. Cells are
+// written by exactly the same oldest-packet-per-cell rule, so the matrix
+// is identical to the generic path's.
+func (m *model) buildMatrixFree() {
+	for in := ports.In(0); in < ports.NumIn; in++ {
+		q := &m.queues[in]
+		limit := q.len()
+		if limit > m.cfg.Window {
+			limit = m.cfg.Window
+		}
+		traffic := m.trafficCols(in)
+		a0, a1, b1 := q.spans(limit)
+		m.fillRowFree(q, ports.Row(in, 0), m.rowMasks[in][0]&traffic, 0, a0, a1, b1, in)
+		m.fillRowFree(q, ports.Row(in, 1), m.rowMasks[in][1]&traffic, rowBitFlag, a0, a1, b1, in)
+	}
+}
+
+// fillRowFree fills one read-port row from the packets assigned to it,
+// walking the ring's (at most) two contiguous runs oldest-first. A chunk
+// byte is a candidate only if it intersects the still-needed columns AND
+// its stored row bit matches — both resolved word-parallel, eight
+// packets per load.
+func (m *model) fillRowFree(q *spktRing, row int, need ports.OutMask, rowBit uint8, a0, a1, b1 int, in ports.In) {
+	const (
+		low7 = 0x7f7f7f7f7f7f7f7f
+		high = 0x8080808080808080
+	)
+	mat := m.matrix
+	for _, span := range [2][2]int{{a0, a1}, {0, b1}} {
+		i, end := span[0], span[1]
+		for i < end && need != 0 {
+			if end-i >= 8 {
+				w := binary.LittleEndian.Uint64(q.dst[i:])
+				x := w & (0x0101010101010101 * uint64(need))
+				// nz marks (in bit 7) each byte with any needed column;
+				// the byte's own bit 7 is the stored row assignment.
+				nz := (((x & low7) + low7) | x) & high
+				cand := nz & (w ^ high)
+				if rowBit != 0 {
+					cand = nz & w & high
+				}
+				if cand == 0 {
+					i += 8
+					continue
+				}
+				i += bits.TrailingZeros64(cand) >> 3
+			} else if q.dst[i]&rowBitFlag != rowBit || ports.OutMask(q.dst[i])&need == 0 {
+				i++
 				continue
 			}
-			// Assign the packet to the read port that covers more of its
-			// candidate outputs; break ties by packet key.
-			c0, c1 := (avail & mask0).Count(), (avail & mask1).Count()
-			row, rowMask, need := row0, mask0, &need0
-			switch {
-			case c1 > c0:
-				row, rowMask, need = row1, mask1, &need1
-			case c1 == c0 && c0 == 0:
-				continue
-			case c1 == c0 && p.key%2 == 1:
-				row, rowMask, need = row1, mask1, &need1
-			}
-			contrib := avail & rowMask & *need
-			for v := contrib; v != 0; v &= v - 1 {
-				o := bits.TrailingZeros8(uint8(v))
-				mat.Set(row, o, p.age, p.key, int32(in))
-			}
-			*need &^= contrib
+			p := &q.buf[i]
+			contrib := p.dests & need
+			mat.SetMany(row, uint64(contrib), p.age, p.key, int32(in))
+			need &^= contrib
+			i++
 		}
 	}
 }
@@ -312,6 +459,7 @@ func (m *model) drain(grants []core.Grant) int {
 		in := ports.In(g.Cell.Payload)
 		if dests, ok := m.queues[in].removeKey(g.Cell.Key); ok {
 			m.countDests(in, dests, -1)
+			m.queued--
 		} else {
 			missing++
 		}
@@ -319,13 +467,7 @@ func (m *model) drain(grants []core.Grant) int {
 	return missing
 }
 
-func (m *model) totalQueued() int {
-	n := 0
-	for i := range m.queues {
-		n += m.queues[i].len()
-	}
-	return n
-}
+func (m *model) totalQueued() int { return m.queued }
 
 // Run executes the standalone model for one of the paper's algorithms.
 func Run(kind core.Kind, cfg Config) Result {
