@@ -25,14 +25,17 @@ race:
 # semaphore and drain flag under concurrent requests), and the bitplane
 # arbitration kernels (the parallel differential suite drives every
 # word-parallel kernel against its scalar reference from concurrent
-# subtests, racing the shared mask/scratch code paths).
+# subtests, racing the shared mask/scratch code paths), and the spatial
+# sharding assembly (per-band engine workers spinning on the wavefront's
+# publish flags, the PostBuffer flush, per-shard flight slots, and the
+# checker's per-router scratch under concurrent edge ticks).
 race-pools:
 	$(GO) test -race -count=1 \
-		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator' \
+		-run 'Wheel|Arena|Ring|Alloc|Slab|Engine|Generator|Shard' \
 		./internal/sim ./internal/packet ./internal/vc ./internal/router ./internal/workload
 	$(GO) test -race -count=1 -run 'Differential|Matrix|Bitplane' ./internal/core
-	$(GO) test -race -count=1 ./internal/check ./internal/obs
-	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches|Metrics' ./internal/experiment
+	$(GO) test -race -count=1 ./internal/check ./internal/obs ./internal/topology
+	$(GO) test -race -count=1 -run 'Replicated|CheckedRunMatches|Metrics|TorusSharded' ./internal/experiment
 	$(GO) test -race -count=1 -run 'Metrics|Flight' ./internal/router
 	$(GO) test -race -count=1 ./internal/fleet
 	$(GO) test -race -count=1 -run 'Metrics|Pprof|Shard|Drain|Healthz|BodyLimit' ./cmd/sweepd
@@ -48,7 +51,7 @@ cover:
 cover-check: cover
 	$(GO) run ./cmd/covercheck -profile cover.out -floors COVERAGE.json
 
-# bench runs the benchmark suite and writes BENCH_9.json into bench-out/.
+# bench runs the benchmark suite and writes BENCH_10.json into bench-out/.
 bench:
 	$(GO) run ./cmd/sweep -bench -out bench-out
 
@@ -61,7 +64,7 @@ bench-arbiters:
 # fails on >15% calibration-normalized regression in ns/simulated-cycle
 # (or allocations). This is the CI perf gate.
 bench-check:
-	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_9.json
+	$(GO) run ./cmd/sweep -bench -out bench-out -bench-baseline BENCH_10.json
 
 fmt:
 	gofmt -l .

@@ -18,7 +18,7 @@
 //	      [-model M] [-size WxH] [-cycles N]
 //	sweep -run [-algo A] [-pattern P] [-process X] [-rate R] [-size WxH]
 //	      [-record FILE | -replay FILE]
-//	sweep -bench [-out DIR] [-bench-baseline BENCH_9.json]
+//	sweep -bench [-out DIR] [-bench-baseline BENCH_10.json]
 //	sweep -list
 //
 // Any sweep mode (figure, matrix, run, spec) accepts -cache-dir DIR to
@@ -121,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	verify := fs.Bool("verify", false, "rerun everything and check the paper's claims")
 	markdown := fs.Bool("markdown", false, "with -verify, emit the EXPERIMENTS.md results table")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+	torusShards := fs.Int("torus-shards", 0, "spatially shard each timing simulation into this many row bands, each on its own engine with CMB lookahead synchronization (results stay byte-identical; 0 = single engine)")
 	checkFlag := fs.Bool("check", false, "enable the online invariant oracle (conservation, VC bounds, grant legality, deadlock watchdog) for every simulation")
 	metricsFlag := fs.Bool("metrics", false, "enable the telemetry layer for every timing simulation: each point carries an internal/obs snapshot, and with -out a <name>.metrics.json sidecar is written")
 	stable := fs.Bool("stable", false, "zero volatile fields (wall-clock durations) in emitted Results, so two runs of the same spec compare byte-identical")
@@ -154,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fleetAddrs := fs.String("fleet", "", "comma-separated sweepd worker addresses (host:port): dispatch shards to the fleet instead of simulating in-process")
 	fleetTimeout := fs.Duration("fleet-timeout", fleet.DefaultTimeout, "with -fleet, per-attempt shard timeout before the worker is declared hung and the shard reassigned")
 	fleetRetries := fs.Int("fleet-retries", fleet.DefaultRetries, "with -fleet, how many times a failed shard is re-dispatched (0 = single attempt)")
-	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_9.json")
+	bench := fs.Bool("bench", false, "run the benchmark suite and write BENCH_10.json")
 	benchBaseline := fs.String("bench-baseline", "", "with -bench, compare against this BENCH_*.json and fail on >15% regression")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -168,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := rejectContradictions(set); err != nil {
 		return err
 	}
-	if err := rejectValueContradictions(set, *reps); err != nil {
+	if err := rejectValueContradictions(set, *reps, *figure); err != nil {
 		return err
 	}
 
@@ -184,6 +185,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		Check: *checkFlag, Metrics: *metricsFlag,
 		Replications: *reps, Confidence: *confidence,
+		TorusShards: *torusShards,
 	}
 	var eventSink func(experiment.Event)
 	var runnerOpts []experiment.RunnerOption
@@ -412,7 +414,7 @@ func buildContradictions() []contradiction {
 	// they change how a spec runs, never what it means.)
 	for _, f := range []string{"figure", "matrix", "run", "verify", "bench", "quick", "seed", "cycles", "size",
 		"algo", "algos", "pattern", "patterns", "process", "processes", "model", "rate", "rates", "record", "replay",
-		"check", "metrics", "reps", "confidence"} {
+		"check", "metrics", "reps", "confidence", "torus-shards"} {
 		add("spec", f, "a spec file fixes the whole scenario; edit the file instead")
 	}
 	add("emit-spec", "spec", "emitting a loaded spec is a copy; use the file directly")
@@ -463,6 +465,14 @@ func buildContradictions() []contradiction {
 	}
 	// Recording replays every replication into the same trace file.
 	add("record", "reps", "every replication would rewrite the trace file")
+	// Trace record/replay pins the single-engine event stream; the sharded
+	// assembly reproduces the same results but not the same trace file
+	// interleavings, so the combination is rejected rather than trusted.
+	for _, f := range []string{"record", "replay"} {
+		add(f, "torus-shards", "trace record/replay runs on the single-engine path; drop -torus-shards")
+	}
+	add("bench", "torus-shards", "the bench suite fixes its own shard counts (see the timing-16x16-saturated entries)")
+	add("verify", "torus-shards", "claim verification always reruns the figures single-engine")
 	// The cache serves sweep results; modes that measure or emit
 	// something other than sweep Results cannot use it.
 	for _, f := range []string{"bench", "verify", "emit-spec", "list"} {
@@ -499,9 +509,12 @@ func rejectContradictions(set map[string]bool) error {
 
 // rejectValueContradictions catches flag combinations that depend on
 // flag values rather than mere presence.
-func rejectValueContradictions(set map[string]bool, reps int) error {
+func rejectValueContradictions(set map[string]bool, reps int, figure string) error {
 	if set["confidence"] && reps < 2 {
 		return fmt.Errorf("-confidence requires -reps 2 or more (there is no interval over one run)")
+	}
+	if set["torus-shards"] && set["figure"] && (figure == "8" || figure == "9") {
+		return fmt.Errorf("-torus-shards applies to timing simulations; figure %s uses the standalone arbiter model (no torus to shard)", figure)
 	}
 	return nil
 }
@@ -670,7 +683,7 @@ const benchRegressionTolerance = 0.15
 
 // runBench executes the benchmark suite (experiment.RunBench: Spec-driven
 // workloads through the ordinary Runner, plus the coordinated entry
-// through the sharded Coordinator), writes BENCH_9.json, and, when a
+// through the sharded Coordinator), writes BENCH_10.json, and, when a
 // baseline is given, fails on >15% calibration-normalized regression.
 func (a *app) runBench(baseline string) error {
 	dir := a.dir

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -95,12 +96,48 @@ func TestContradictoryFlagsRejected(t *testing.T) {
 		{"-cache-dir", "d", "-record", "a", "-run"},
 		{"-shards", "4", "-verify"},
 		{"-resume"},
+		{"-torus-shards", "2", "-figure", "8"},
+		{"-torus-shards", "2", "-replay", "t.trace"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
 		if err := run(args, &stdout, &stderr); err == nil {
 			t.Errorf("args %v: expected an error", args)
 		}
+	}
+}
+
+// TestTorusShardsFlagMatchesSerial is the CLI face of the spatial-sharding
+// byte-identity contract: the same -run with and without -torus-shards
+// must decode to equal Results, down to every point, once the one
+// intentional difference — the spec's own torus_shards provenance field —
+// is normalized away.
+func TestTorusShardsFlagMatchesSerial(t *testing.T) {
+	decode := func(extra ...string) *experiment.Result {
+		t.Helper()
+		args := append([]string{
+			"-run", "-algo", "SPAA-rotary", "-pattern", "bit-reversal", "-process", "bernoulli",
+			"-rate", "0.04", "-size", "4x4", "-cycles", "400",
+			"-json", "-stable", "-workers", "1",
+		}, extra...)
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("run %v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		res, err := experiment.DecodeResultJSONL(strings.NewReader(stdout.String()))
+		if err != nil {
+			t.Fatalf("decode %v: %v", args, err)
+		}
+		return res
+	}
+	serial := decode()
+	sharded := decode("-torus-shards", "2")
+	if sharded.Spec.Timing == nil || sharded.Spec.Timing.TorusShards != 2 {
+		t.Fatalf("-torus-shards 2 not stamped into the spec: %+v", sharded.Spec.Timing)
+	}
+	sharded.Spec.Timing.TorusShards = 0
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("sharded -run diverged from serial:\nserial  %+v\nsharded %+v", serial, sharded)
 	}
 }
 
@@ -118,6 +155,7 @@ var ruleSamples = map[string]string{
 	"cache-dir": "cachedir", "shards": "4", "bench-baseline": "BENCH.json",
 	"resume": "true", "metrics": "true", "stable": "true",
 	"fleet": "127.0.0.1:9", "fleet-timeout": "2m", "fleet-retries": "2",
+	"torus-shards": "2",
 }
 
 func sampleArg(t *testing.T, name string) string {

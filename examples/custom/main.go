@@ -9,6 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"alpha21364"
 )
@@ -43,6 +46,15 @@ func (greedyColumns) Arbitrate(m *alpha21364.Matrix) []alpha21364.Grant {
 }
 
 func main() {
+	if err := run(os.Stdout, 2000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run compares the arbiters over the given number of random request
+// matrices, writing the table to out. The test drives it at a reduced
+// trial count; main uses 2000.
+func run(out io.Writer, trials int) error {
 	rng := alpha21364.NewRNG(42)
 	arbiters := []alpha21364.Arbiter{
 		greedyColumns{},
@@ -53,7 +65,6 @@ func main() {
 
 	// Identical random request matrices for every arbiter: sparse traffic
 	// (12% cell density) so the algorithms' coordination actually matters.
-	const trials = 2000
 	totals := make([]int, len(arbiters))
 	for trial := 0; trial < trials; trial++ {
 		m := alpha21364.NewRouterMatrix()
@@ -72,12 +83,13 @@ func main() {
 		}
 	}
 
-	fmt.Println("Matching capability on identical sparse request matrices:")
+	fmt.Fprintln(out, "Matching capability on identical sparse request matrices:")
 	for i, a := range arbiters {
-		fmt.Printf("  %-16s %.2f matches/cycle\n", a.Name(), float64(totals[i])/trials)
+		fmt.Fprintf(out, "  %-16s %.2f matches/cycle\n", a.Name(), float64(totals[i])/float64(trials))
 	}
-	fmt.Println()
-	fmt.Println("greedy-columns coordinates nothing across columns, so it loses")
-	fmt.Println("rows to early columns that later columns needed — the arbitration")
-	fmt.Println("collision the paper's Figure 2 illustrates.")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "greedy-columns coordinates nothing across columns, so it loses")
+	fmt.Fprintln(out, "rows to early columns that later columns needed — the arbitration")
+	fmt.Fprintln(out, "collision the paper's Figure 2 illustrates.")
+	return nil
 }

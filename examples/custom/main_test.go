@@ -1,0 +1,28 @@
+package main
+
+// main_test.go makes `go test ./...` compile and exercise this example:
+// the four-arbiter comparison runs over a reduced trial count, and the
+// test checks every arbiter appears in the table — including the
+// example's own drop-in greedy-columns implementation.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExampleRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 200); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Matching capability",
+		"greedy-columns", "SPAA-base", "WFA-base", "MCM",
+		"matches/cycle",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("example output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -8,19 +8,31 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"alpha21364"
 )
 
 func main() {
+	if err := run(os.Stdout, 1000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example, averaging the standalone comparison over the
+// given iteration count, writing both tables to out. The test drives it
+// at reduced fidelity; main uses the paper's 1000 iterations.
+func run(out io.Writer, cycles int) error {
 	// Figure 2's queue contents: columns are destinations, oldest first.
 	dests := [8][3]int{
 		{3, 2, 1}, {3, 2, 1}, {3, 2, 1}, {3, 2, 1},
 		{3, 6, 1}, {3, 2, 0}, {3, 2, 4}, {3, 2, 5},
 	}
 
-	fmt.Println("Figure 2 scenario: every input port's oldest packet wants output 3")
-	fmt.Printf("%-12s %-9s %s\n", "algorithm", "matches", "granted outputs")
+	fmt.Fprintln(out, "Figure 2 scenario: every input port's oldest packet wants output 3")
+	fmt.Fprintf(out, "%-12s %-9s %s\n", "algorithm", "matches", "granted outputs")
 	for _, kind := range []alpha21364.Kind{
 		alpha21364.OPF, alpha21364.SPAABase, alpha21364.PIM1,
 		alpha21364.WFABase, alpha21364.MCM,
@@ -32,20 +44,22 @@ func main() {
 		for _, g := range grants {
 			outs = append(outs, g.Col)
 		}
-		fmt.Printf("%-12s %-9d %v\n", arb.Name(), len(grants), outs)
+		fmt.Fprintf(out, "%-12s %-9d %v\n", arb.Name(), len(grants), outs)
 	}
 
 	// The steady-state version: matches/cycle at the MCM saturation load,
 	// the right edge of the paper's Figure 8.
-	fmt.Println("\nStandalone model at full load (Figure 8's saturation point):")
+	fmt.Fprintln(out, "\nStandalone model at full load (Figure 8's saturation point):")
 	cfg := alpha21364.DefaultStandaloneConfig(1.0)
+	cfg.Cycles = cycles
 	for _, kind := range []alpha21364.Kind{
 		alpha21364.MCM, alpha21364.WFABase, alpha21364.PIM,
 		alpha21364.PIM1, alpha21364.SPAABase,
 	} {
 		res := alpha21364.RunStandalone(kind, cfg)
-		fmt.Printf("  %-10s %.2f matches/cycle\n", res.Algorithm, res.MatchesPerCycle)
+		fmt.Fprintf(out, "  %-10s %.2f matches/cycle\n", res.Algorithm, res.MatchesPerCycle)
 	}
+	return nil
 }
 
 // buildFigure2 loads the figure's queues into a request matrix: one row

@@ -1,0 +1,36 @@
+package main
+
+// main_test.go makes `go test ./...` compile and exercise this example:
+// the Figure 2 scenario plus the standalone saturation comparison run at
+// a reduced iteration count, and the test checks both tables appear with
+// every algorithm. The Figure 2 outcome itself is pinned: MCM must find
+// the full 7-output matching the figure shades while OPF collapses to 1.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExampleRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 200); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Figure 2 scenario",
+		"OPF", "SPAA-base", "PIM1", "WFA-base", "MCM",
+		"Standalone model at full load",
+		"matches/cycle",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("example output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "OPF          1") {
+		t.Errorf("OPF should collapse to a single match on Figure 2:\n%s", got)
+	}
+	if !strings.Contains(got, "MCM          7") {
+		t.Errorf("MCM should find the figure's 7-output matching:\n%s", got)
+	}
+}

@@ -5,43 +5,55 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"alpha21364"
 )
 
 func main() {
+	if err := run(os.Stdout, 20000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example at the given router cycle count, writing the
+// report to out. The test drives it at reduced fidelity; main uses 20000
+// cycles (the BNF sweep runs each point at half that).
+func run(out io.Writer, cycles int) error {
 	res, err := alpha21364.RunTiming(alpha21364.TimingSetup{
 		Width:   4,
 		Height:  4,
 		Kind:    alpha21364.SPAABase,
 		Pattern: alpha21364.Uniform,
-		Rate:    0.03,  // new transactions per node per router cycle
-		Cycles:  20000, // router cycles at 1.2 GHz
+		Rate:    0.03,   // new transactions per node per router cycle
+		Cycles:  cycles, // router cycles at 1.2 GHz
 		Seed:    1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("Alpha 21364 4x4 torus, SPAA arbitration, uniform coherence traffic")
-	fmt.Printf("  delivered throughput: %.3f flits/router/ns (max 2.4)\n", res.Throughput)
-	fmt.Printf("  average latency:      %.1f ns per packet\n", res.AvgLatencyNS)
-	fmt.Printf("  packets delivered:    %d (%.2f hops on average)\n", res.Packets, res.MeanHops)
-	fmt.Printf("  transactions:         %d completed\n", res.Completed)
+	fmt.Fprintln(out, "Alpha 21364 4x4 torus, SPAA arbitration, uniform coherence traffic")
+	fmt.Fprintf(out, "  delivered throughput: %.3f flits/router/ns (max 2.4)\n", res.Throughput)
+	fmt.Fprintf(out, "  average latency:      %.1f ns per packet\n", res.AvgLatencyNS)
+	fmt.Fprintf(out, "  packets delivered:    %d (%.2f hops on average)\n", res.Packets, res.MeanHops)
+	fmt.Fprintf(out, "  transactions:         %d completed\n", res.Completed)
 
 	// Sweep the load to trace a BNF curve (latency vs delivered
 	// throughput), the metric the paper reports in Figure 10.
 	series, err := alpha21364.SweepBNF(alpha21364.TimingSetup{
 		Width: 4, Height: 4, Kind: alpha21364.SPAABase,
-		Pattern: alpha21364.Uniform, Cycles: 10000, Seed: 1,
+		Pattern: alpha21364.Uniform, Cycles: cycles / 2, Seed: 1,
 	}, []float64{0.01, 0.03, 0.05, 0.08})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nBNF curve (load sweep):")
+	fmt.Fprintln(out, "\nBNF curve (load sweep):")
 	for _, p := range series.Points {
-		fmt.Printf("  rate %.3f -> %.3f flits/router/ns at %.1f ns\n",
+		fmt.Fprintf(out, "  rate %.3f -> %.3f flits/router/ns at %.1f ns\n",
 			p.OfferedRate, p.Throughput, p.AvgLatencyNS)
 	}
+	return nil
 }

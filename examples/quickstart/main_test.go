@@ -1,0 +1,30 @@
+package main
+
+// main_test.go makes `go test ./...` compile and exercise this example:
+// the single run plus the BNF load sweep execute at reduced fidelity, and
+// the test checks the report carries the headline metrics and every sweep
+// point.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExampleRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 2000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"delivered throughput",
+		"average latency",
+		"transactions",
+		"BNF curve",
+		"rate 0.010", "rate 0.080",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("example output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+// main_test.go makes `go test ./...` compile and exercise this example:
+// the rate x algorithm saturation table runs at reduced fidelity, and the
+// test checks every column header and rate row appears.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExampleRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 800); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"8x8 torus",
+		"SPAA-base", "SPAA-rotary", "WFA-base", "WFA-rotary",
+		"0.020", "0.130",
+		"Rotary Rule",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("example output missing %q:\n%s", want, got)
+		}
+	}
+}

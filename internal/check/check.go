@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"alpha21364/internal/core"
 	"alpha21364/internal/obs"
@@ -167,29 +169,41 @@ type pendingNom struct {
 	resolveAt sim.Ticks
 }
 
-// routerState is the Checker's per-router bookkeeping.
+// routerState is the Checker's per-router bookkeeping. Everything a push
+// hook touches lives here (including the wave-matrix scratch), because a
+// spatially-sharded simulation ticks routers from concurrent edge
+// workers: per-router state keeps the hooks race-free without locks.
 type routerState struct {
 	pending []pendingNom
-}
-
-// Checker is the oracle. It is single-threaded, like the simulation it
-// watches; one Checker watches one simulation.
-type Checker struct {
-	cfg    Config
-	probes Probes
-	states map[*router.Router]*routerState
-
-	v *Violation
-
-	// Watchdog state.
-	watchInit     bool
-	lastDelivered int64
-	progressAt    sim.Ticks
 
 	// Reused scratch for the wave-matrix and grant-legality checks.
 	keyBuf []uint64
 	rowBuf []int
 	colBuf []int
+}
+
+// Checker is the oracle. The pull sweeps are single-threaded (the
+// harness schedules them on the hub engine); the push hooks may be
+// invoked concurrently for *different* routers — each router's state is
+// private, the failure fast path is an atomic flag, and the first
+// violation wins under a mutex. Concurrent hook callers must be
+// registered in Probes.Routers (New prepopulates their states); the
+// lazy-registration path exists for serial hand-built rigs only.
+type Checker struct {
+	cfg    Config
+	probes Probes
+	states map[*router.Router]*routerState
+
+	// failed is the hooks' lock-free "already violated" fast path; mu
+	// serializes recording the first violation and lazy registration.
+	failed atomic.Bool
+	mu     sync.Mutex
+	v      *Violation
+
+	// Watchdog state.
+	watchInit     bool
+	lastDelivered int64
+	progressAt    sim.Ticks
 }
 
 // New builds a Checker over the given probes. Install it on each router
@@ -214,24 +228,49 @@ func (c *Checker) Interval() sim.Ticks {
 
 // Err returns the first violation as an error, nil if none.
 func (c *Checker) Err() error {
-	if c.v == nil {
-		return nil
+	if v := c.Violation(); v != nil {
+		return v
 	}
-	return c.v
+	return nil
 }
 
 // Violation returns the structured first failure, nil if none.
-func (c *Checker) Violation() *Violation { return c.v }
+func (c *Checker) Violation() *Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
 
-// fail records the first violation and stops the simulation.
+// fail records the first violation and stops the simulation. Concurrent
+// callers race for first; exactly one records and calls Stop.
 func (c *Checker) fail(v *Violation) {
+	c.mu.Lock()
 	if c.v != nil {
+		c.mu.Unlock()
 		return
 	}
 	c.v = v
+	c.failed.Store(true)
+	c.mu.Unlock()
 	if c.probes.Stop != nil {
 		c.probes.Stop()
 	}
+}
+
+// state returns r's bookkeeping, registering it on first use (serial
+// rigs only; see the Checker doc comment).
+func (c *Checker) state(r *router.Router) *routerState {
+	if st := c.states[r]; st != nil {
+		return st
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[r]
+	if st == nil {
+		st = &routerState{}
+		c.states[r] = st
+	}
+	return st
 }
 
 func (c *Checker) failf(invariant string, node int, at sim.Ticks, format string, args ...any) {
@@ -243,14 +282,10 @@ func (c *Checker) failf(invariant string, node int, at sim.Ticks, format string,
 // SPAANominate implements router.Oracle: it records the nomination so the
 // matching resolution can be verified against a pending request.
 func (c *Checker) SPAANominate(r *router.Router, now sim.Ticks, g router.SPAAGrant, resolveAt sim.Ticks) {
-	if c.v != nil {
+	if c.failed.Load() {
 		return
 	}
-	st := c.states[r]
-	if st == nil {
-		st = &routerState{}
-		c.states[r] = st
-	}
+	st := c.state(r)
 	if resolveAt < now {
 		c.failf("grant-legality", int(r.Node()), now,
 			"nomination of packet %d resolves in the past (tick %d)", g.ID, resolveAt)
@@ -263,7 +298,7 @@ func (c *Checker) SPAANominate(r *router.Router, now sim.Ticks, g router.SPAAGra
 // a pending nomination due now, and no read-port row or output port may
 // be granted twice in one resolution.
 func (c *Checker) SPAAResolve(r *router.Router, now sim.Ticks, grants []router.SPAAGrant) {
-	if c.v != nil {
+	if c.failed.Load() {
 		return
 	}
 	node := int(r.Node())
@@ -323,39 +358,40 @@ func consumePending(st *routerState, g *router.SPAAGrant, now sim.Ticks) bool {
 // two columns, every valid cell a real request) and the grants must form
 // a matching over valid cells.
 func (c *Checker) WaveResolve(r *router.Router, now sim.Ticks, m *core.Matrix, grants []core.Grant) {
-	if c.v != nil {
+	if c.failed.Load() {
 		return
 	}
 	node := int(r.Node())
+	st := c.state(r)
 	// Builder invariants over the matrix, iterating the row validity
 	// words so only populated cells are visited.
-	c.keyBuf, c.rowBuf, c.colBuf = c.keyBuf[:0], c.rowBuf[:0], c.colBuf[:0]
+	st.keyBuf, st.rowBuf, st.colBuf = st.keyBuf[:0], st.rowBuf[:0], st.colBuf[:0]
 	for row := 0; row < m.Rows; row++ {
 		for w := m.RowMask(row); w != 0; w &= w - 1 {
 			col := bits.TrailingZeros64(w)
 			cell := m.At(row, col)
 			seen := false
-			for i, k := range c.keyBuf {
+			for i, k := range st.keyBuf {
 				if k != cell.Key {
 					continue
 				}
 				seen = true
-				if c.rowBuf[i] != row {
+				if st.rowBuf[i] != row {
 					c.failf("wave-matrix", node, now,
-						"packet %d nominated by rows %d and %d", cell.Key, c.rowBuf[i], row)
+						"packet %d nominated by rows %d and %d", cell.Key, st.rowBuf[i], row)
 					return
 				}
-				c.colBuf[i]++
-				if c.colBuf[i] > 2 {
+				st.colBuf[i]++
+				if st.colBuf[i] > 2 {
 					c.failf("wave-matrix", node, now,
 						"packet %d nominated to more than two columns", cell.Key)
 					return
 				}
 			}
 			if !seen {
-				c.keyBuf = append(c.keyBuf, cell.Key)
-				c.rowBuf = append(c.rowBuf, row)
-				c.colBuf = append(c.colBuf, 1)
+				st.keyBuf = append(st.keyBuf, cell.Key)
+				st.rowBuf = append(st.rowBuf, row)
+				st.colBuf = append(st.colBuf, 1)
 			}
 		}
 	}
@@ -393,7 +429,7 @@ func (c *Checker) WaveResolve(r *router.Router, now sim.Ticks, m *core.Matrix, g
 // cross-check, and the deadlock watchdog. Schedule it every Interval()
 // ticks.
 func (c *Checker) Sweep(now sim.Ticks) {
-	if c.v != nil {
+	if c.failed.Load() {
 		return
 	}
 	c.checkBounds(now)
@@ -403,7 +439,7 @@ func (c *Checker) Sweep(now sim.Ticks) {
 // Final runs the drain-time invariants: everything Sweep checks except
 // the watchdog (a run may legitimately end with packets in flight).
 func (c *Checker) Final(now sim.Ticks) {
-	if c.v != nil {
+	if c.failed.Load() {
 		return
 	}
 	c.checkBounds(now)

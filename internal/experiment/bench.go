@@ -27,7 +27,7 @@ import (
 )
 
 // BenchVersion is the BENCH_*.json schema version.
-const BenchVersion = 9
+const BenchVersion = 10
 
 // BenchEntry is one benchmark workload: a Spec plus the simulated-cycle
 // accounting needed to normalize its cost.
@@ -51,6 +51,10 @@ type BenchEntry struct {
 //     saturated-load point, all five Figure 8 algorithms;
 //   - timing-8x8-saturated: the timing model deep in saturation (the
 //     regime the paper's Figures 10-11 comparisons depend on);
+//   - timing-16x16-saturated and timing-16x16-saturated-shards4: a large
+//     saturated torus run monolithic and spatially sharded into 4 row
+//     bands, so the spatial-sharding machinery's cost (and, on multi-core
+//     machines, its speedup) is tracked per machine in the baseline;
 //   - timing-4x4-matrix: a small arbiter x rate matrix, the shape of the
 //     sweep workloads;
 //   - coordinated-4x4-matrix: the same matrix through the sharded
@@ -94,6 +98,31 @@ func benchSimEntries() []BenchEntry {
 				WithMaxOutstanding(64),
 				WithCycles(4000),
 				WithSeed(1),
+			),
+		},
+		{
+			Name: "timing-16x16-saturated",
+			Spec: NewSpec(
+				WithName("bench timing 16x16 saturated"),
+				WithTopology(16, 16),
+				WithArbiters("SPAA-rotary"),
+				WithRates(0.09),
+				WithMaxOutstanding(64),
+				WithCycles(1500),
+				WithSeed(1),
+			),
+		},
+		{
+			Name: "timing-16x16-saturated-shards4",
+			Spec: NewSpec(
+				WithName("bench timing 16x16 saturated shards4"),
+				WithTopology(16, 16),
+				WithArbiters("SPAA-rotary"),
+				WithRates(0.09),
+				WithMaxOutstanding(64),
+				WithCycles(1500),
+				WithSeed(1),
+				WithTorusShards(4),
 			),
 		},
 		{

@@ -50,6 +50,10 @@ type Options struct {
 	// confidence level (0 = 0.95).
 	Replications int
 	Confidence   float64
+	// TorusShards, when positive, spatially shards every timing spec the
+	// options build into that many row bands (cmd/sweep -torus-shards);
+	// standalone-model specs have no torus and are left unstamped.
+	TorusShards int
 	// Progress, when non-nil, is called once per finished simulation job;
 	// see ProgressFunc.
 	Progress ProgressFunc
@@ -97,6 +101,12 @@ func (o Options) ApplyStudy(sp *Spec) {
 	}
 	if o.Metrics && sp.Mode != ModeStandalone {
 		sp.Metrics = true
+	}
+	if o.TorusShards > 0 && sp.Mode != ModeStandalone {
+		if sp.Timing == nil {
+			sp.Timing = &TimingSpec{}
+		}
+		sp.Timing.TorusShards = o.TorusShards
 	}
 	if o.Replications > 1 {
 		sp.Replications = o.Replications
@@ -156,6 +166,13 @@ type TimingSetup struct {
 	// many router cycles, exposing the cyclic delivered-throughput pattern
 	// the paper describes for saturated networks (§3.4).
 	EpochCycles int
+	// TorusShards, when positive, partitions the torus into that many
+	// contiguous row bands, each owning its own tick-wheel engine,
+	// synchronized conservatively with lookahead equal to the link
+	// latency (CMB discipline; see internal/sim.ShardGroup). Results are
+	// byte-identical to a monolithic run at any shard count; 0 keeps the
+	// single-engine path. Must be at most Height.
+	TorusShards int
 }
 
 // workloadConfig expands the setup into the workload decomposition:
@@ -332,9 +349,32 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 		epochs = col.TrackEpochs(epochLen)
 		epochs.Reserve(int(end/epochLen) + 1)
 	}
-	net, err := network.New(network.Config{Width: s.Width, Height: s.Height, Router: rcfg}, eng, col)
-	if err != nil {
-		return TimingResult{}, err
+	ncfg := network.Config{Width: s.Width, Height: s.Height, Router: rcfg}
+	var net *network.Network
+	var sg *sim.ShardGroup
+	var err error
+	if s.TorusShards > 0 {
+		if s.TorusShards > s.Height {
+			return TimingResult{}, fmt.Errorf("experiment: torus shards %d exceeds height %d", s.TorusShards, s.Height)
+		}
+		part := topology.PartitionRows(topology.NewTorus(s.Width, s.Height), s.TorusShards)
+		members := make([]*sim.Engine, part.Shards())
+		for i := range members {
+			members[i] = sim.NewEngine()
+		}
+		pb := sim.NewPostBuffer(s.Width * s.Height)
+		net, err = network.NewSharded(ncfg, eng, members, part, pb, col)
+		if err != nil {
+			return TimingResult{}, err
+		}
+		sg = sim.NewShardGroup(eng, members, pb, net.Lookahead())
+		sg.SetEdge(rcfg.RouterPeriod, 0, net.TickShard)
+		defer sg.Close()
+	} else {
+		net, err = network.New(ncfg, eng, col)
+		if err != nil {
+			return TimingResult{}, err
+		}
 	}
 	wcfg, err := s.workloadConfig(net.Torus(), rcfg.RouterPeriod)
 	if err != nil {
@@ -374,7 +414,11 @@ func runTiming(ctx context.Context, s TimingSetup, mutate func(*router.Config)) 
 		}
 		eng.ScheduleDelay(interval, poll)
 	}
-	eng.Run(end)
+	if sg != nil {
+		sg.Run(end)
+	} else {
+		eng.Run(end)
+	}
 	if chk != nil {
 		chk.Final(eng.Now())
 		if err := chk.Err(); err != nil {

@@ -140,6 +140,13 @@ type TimingSpec struct {
 	// EpochCycles, when positive, tracks delivered flits per epoch of that
 	// many cycles (the §3.4 saturation-oscillation measure).
 	EpochCycles int `json:"epoch_cycles,omitempty"`
+	// TorusShards, when positive, runs each simulation spatially sharded
+	// into that many row bands with their own tick-wheel engines (CMB
+	// lookahead synchronization; byte-identical to the monolithic
+	// engine). 0 keeps the single-engine path. Included in the spec hash
+	// when set, so a sharded sweep caches separately from a monolithic
+	// one even though the results match byte for byte.
+	TorusShards int `json:"torus_shards,omitempty"`
 }
 
 // Standalone axes.
@@ -296,6 +303,12 @@ func WithScaledPipeline() SpecOption {
 	return func(s *Spec) { s.timing().ScalePipeline = true }
 }
 
+// WithTorusShards spatially shards each simulation into n row bands
+// (0 keeps the monolithic engine).
+func WithTorusShards(n int) SpecOption {
+	return func(s *Spec) { s.timing().TorusShards = n }
+}
+
 // WithEpochCycles tracks delivered flits per epoch of n cycles.
 func WithEpochCycles(n int) SpecOption {
 	return func(s *Spec) { s.timing().EpochCycles = n }
@@ -446,6 +459,13 @@ func (s Spec) validateTiming() error {
 	}
 	if s.Timing.EpochCycles < 0 {
 		return specErr("epoch_cycles must be >= 0")
+	}
+	if s.Timing.TorusShards < 0 {
+		return specErr("torus_shards must be >= 0")
+	}
+	if s.Timing.TorusShards > s.Topology.Height {
+		return specErr("torus_shards %d exceeds topology height %d (row-band sharding needs at least one row per shard)",
+			s.Timing.TorusShards, s.Topology.Height)
 	}
 	w := s.Workload
 	if w == nil {
@@ -715,6 +735,7 @@ func (s Spec) expandTiming() (*plan, error) {
 		WarmupFraction: s.Timing.WarmupFraction,
 		ScalePipeline:  s.Timing.ScalePipeline,
 		EpochCycles:    s.Timing.EpochCycles,
+		TorusShards:    s.Timing.TorusShards,
 		Seed:           s.Timing.Seed,
 		Check:          s.Check,
 		Metrics:        s.Metrics,

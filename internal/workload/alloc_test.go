@@ -8,6 +8,7 @@ import (
 	"alpha21364/internal/router"
 	"alpha21364/internal/sim"
 	"alpha21364/internal/stats"
+	"alpha21364/internal/topology"
 )
 
 // TestGeneratorInjectionAllocs pins the steady-state allocation budget of
@@ -46,6 +47,55 @@ func TestGeneratorInjectionAllocs(t *testing.T) {
 	perCycle := allocs / 64
 	if perCycle > 1 {
 		t.Fatalf("steady-state injection allocates %.2f/router-cycle (%.1f per %d-cycle window), want <= 1",
+			perCycle, allocs, 64)
+	}
+	if gen.Completed() == 0 {
+		t.Fatal("no transactions completed; the workload never ran")
+	}
+}
+
+// TestShardedInjectionAllocs is TestGeneratorInjectionAllocs over the
+// spatially-sharded assembly: hub + per-band member engines, the
+// wavefront edge, and the PostBuffer flush must hold the same near-zero
+// steady-state budget (pooled event nodes, retained buffer capacity; the
+// only tolerated residue is the transaction table's map internals).
+func TestShardedInjectionAllocs(t *testing.T) {
+	hub := sim.NewEngine()
+	col := stats.NewCollector(0)
+	rcfg := router.DefaultConfig(core.KindSPAABase)
+	rcfg.Seed = 1
+	const w, h, shards = 4, 4, 2
+	part := topology.PartitionRows(topology.NewTorus(w, h), shards)
+	members := make([]*sim.Engine, shards)
+	for i := range members {
+		members[i] = sim.NewEngine()
+	}
+	pb := sim.NewPostBuffer(w * h)
+	net, err := network.NewSharded(network.Config{Width: w, Height: h, Router: rcfg}, hub, members, part, pb, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Config{
+		Process:        NewBernoulli(0.05),
+		MaxOutstanding: 16,
+		Seed:           1,
+	}, net, hub, col)
+	hub.AddClock(rcfg.RouterPeriod, 0, gen)
+	sg := sim.NewShardGroup(hub, members, pb, net.Lookahead())
+	sg.SetEdge(rcfg.RouterPeriod, 0, net.TickShard)
+	defer sg.Close()
+
+	const window = 64 * 10
+	until := sim.Ticks(2000 * 10)
+	sg.Run(until)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		until += window
+		sg.Run(until)
+	})
+	perCycle := allocs / 64
+	if perCycle > 1 {
+		t.Fatalf("sharded steady state allocates %.2f/router-cycle (%.1f per %d-cycle window), want <= 1",
 			perCycle, allocs, 64)
 	}
 	if gen.Completed() == 0 {
